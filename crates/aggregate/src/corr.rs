@@ -1,0 +1,128 @@
+//! Correlation coefficients.
+//!
+//! Figure 3(b)'s claim — *"the average distance travelled is more strongly
+//! correlated with the number of visits for dentist B than dentist C"* —
+//! needs a number: [`pearson`] for the linear version, [`spearman`] for
+//! the rank version (robust to the heavy-tailed distances a real city
+//! produces).
+
+/// Pearson correlation of paired samples; `None` when fewer than 2 points
+/// or either variable is constant.
+pub fn pearson(points: &[(f64, f64)]) -> Option<f64> {
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let mx = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for &(x, y) in points {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return None;
+    }
+    Some(cov / (vx.sqrt() * vy.sqrt()))
+}
+
+/// Average ranks, assigning tied values the mean of their rank range.
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+    let mut out = vec![0.0; values.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        let mean_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = mean_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation; `None` under the same conditions as
+/// [`pearson`].
+pub fn spearman(points: &[(f64, f64)]) -> Option<f64> {
+    if points.len() < 2 {
+        return None;
+    }
+    let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
+    let rx = ranks(&xs);
+    let ry = ranks(&ys);
+    let ranked: Vec<(f64, f64)> = rx.into_iter().zip(ry).collect();
+    pearson(&ranked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_linear_correlation() {
+        let pts: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, 2.0 * i as f64 + 1.0)).collect();
+        assert!((pearson(&pts).unwrap() - 1.0).abs() < 1e-12);
+        assert!((spearman(&pts).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_anticorrelation() {
+        let pts: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, -(i as f64))).collect();
+        assert!((pearson(&pts).unwrap() + 1.0).abs() < 1e-12);
+        assert!((spearman(&pts).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_variable_yields_none() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0)).collect();
+        assert_eq!(pearson(&pts), None);
+        assert_eq!(spearman(&pts), None);
+        assert_eq!(pearson(&[]), None);
+        assert_eq!(pearson(&[(1.0, 1.0)]), None);
+    }
+
+    #[test]
+    fn spearman_is_robust_to_monotone_transform() {
+        // y = exp(x): nonlinear but monotone → spearman 1, pearson < 1.
+        let pts: Vec<(f64, f64)> = (0..30).map(|i| (i as f64, (i as f64 / 3.0).exp())).collect();
+        assert!((spearman(&pts).unwrap() - 1.0).abs() < 1e-12);
+        assert!(pearson(&pts).unwrap() < 0.99);
+    }
+
+    #[test]
+    fn ties_get_mean_ranks() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn correlation_in_range(pts in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..100)) {
+            if let Some(r) = pearson(&pts) {
+                prop_assert!((-1.0..=1.0).contains(&r) || r.abs() - 1.0 < 1e-9);
+            }
+            if let Some(r) = spearman(&pts) {
+                prop_assert!((-1.0..=1.0).contains(&r) || r.abs() - 1.0 < 1e-9);
+            }
+        }
+
+        #[test]
+        fn correlation_is_symmetric(pts in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..50)) {
+            let flipped: Vec<(f64, f64)> = pts.iter().map(|&(x, y)| (y, x)).collect();
+            match (pearson(&pts), pearson(&flipped)) {
+                (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9),
+                (None, _) | (_, None) => {}
+            }
+        }
+    }
+}

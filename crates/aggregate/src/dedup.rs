@@ -1,0 +1,121 @@
+//! Group-interaction deduplication (§4.1).
+//!
+//! *"When a set of users interact with the same entity as a group (e.g.,
+//! visit a restaurant together), an RSP must explicitly account for such
+//! instances to ensure that the collective recommendation power of groups
+//! does not artificially inflate the aggregate activity associated with an
+//! entity."*
+//!
+//! The server never sees group ids (the client doesn't know them either) —
+//! what it *can* see is co-occurrence: several anonymous histories logging
+//! an interaction with the same entity at nearly the same instant. This
+//! module clusters same-entity interaction starts within a small window
+//! into *episodes*; aggregate activity counts episodes, not raw records.
+
+use orsp_types::{SimDuration, Timestamp};
+
+/// Collapse interaction start times into episodes: starts within `window`
+/// of the episode's first start join that episode.
+///
+/// Returns `(raw_count, episode_count)`.
+pub fn dedup_group_episodes(starts: &[Timestamp], window: SimDuration) -> (usize, usize) {
+    if starts.is_empty() {
+        return (0, 0);
+    }
+    let mut sorted: Vec<Timestamp> = starts.to_vec();
+    sorted.sort();
+    let mut episodes = 1usize;
+    let mut episode_start = sorted[0];
+    for &t in &sorted[1..] {
+        if t - episode_start > window {
+            episodes += 1;
+            episode_start = t;
+        }
+    }
+    (sorted.len(), episodes)
+}
+
+/// Deduplication summary for one entity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DedupSummary {
+    /// Raw interaction count.
+    pub raw: usize,
+    /// Episode count after collapsing co-occurring interactions.
+    pub episodes: usize,
+}
+
+impl DedupSummary {
+    /// Compute for an entity's interaction starts.
+    pub fn compute(starts: &[Timestamp], window: SimDuration) -> DedupSummary {
+        let (raw, episodes) = dedup_group_episodes(starts, window);
+        DedupSummary { raw, episodes }
+    }
+
+    /// How much raw activity was inflated by grouping (1.0 = none).
+    pub fn inflation(&self) -> f64 {
+        if self.episodes == 0 {
+            1.0
+        } else {
+            self.raw as f64 / self.episodes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: i64) -> Timestamp {
+        Timestamp::from_seconds(s)
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(dedup_group_episodes(&[], SimDuration::minutes(10)), (0, 0));
+    }
+
+    #[test]
+    fn solo_visits_stay_separate() {
+        let starts = [t(0), t(86_400), t(2 * 86_400)];
+        assert_eq!(dedup_group_episodes(&starts, SimDuration::minutes(10)), (3, 3));
+    }
+
+    #[test]
+    fn group_visit_collapses() {
+        // Four people arrive at a restaurant within 2 minutes.
+        let starts = [t(0), t(30), t(60), t(120)];
+        assert_eq!(dedup_group_episodes(&starts, SimDuration::minutes(10)), (4, 1));
+    }
+
+    #[test]
+    fn mixed_groups_and_solos() {
+        let starts = [t(0), t(30), t(7_200), t(86_400), t(86_460)];
+        let (raw, episodes) = dedup_group_episodes(&starts, SimDuration::minutes(10));
+        assert_eq!(raw, 5);
+        assert_eq!(episodes, 3);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let starts = [t(86_400), t(0), t(30)];
+        assert_eq!(dedup_group_episodes(&starts, SimDuration::minutes(10)), (3, 2));
+    }
+
+    #[test]
+    fn window_anchored_at_episode_start() {
+        // Chain of visits 8 minutes apart with a 10-minute window: the
+        // window anchors at the episode's first start, so the chain does
+        // not extend indefinitely.
+        let starts = [t(0), t(480), t(960), t(1_440)];
+        let (_, episodes) = dedup_group_episodes(&starts, SimDuration::minutes(10));
+        assert_eq!(episodes, 2);
+    }
+
+    #[test]
+    fn inflation_factor() {
+        let s = DedupSummary::compute(&[t(0), t(10), t(20), t(86_400)], SimDuration::minutes(10));
+        assert_eq!(s.raw, 4);
+        assert_eq!(s.episodes, 2);
+        assert!((s.inflation() - 2.0).abs() < 1e-12);
+    }
+}

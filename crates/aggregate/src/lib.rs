@@ -1,0 +1,30 @@
+//! # orsp-aggregate
+//!
+//! Statistical primitives shared by the measurement harnesses, the
+//! server's aggregate egress, and the comparative-visualization
+//! experiments:
+//!
+//! * [`cdf`] — empirical CDFs (the form of every panel of Figure 1);
+//! * [`hist`] — histograms with explicit bin edges (Figure 3a);
+//! * [`corr`] — Pearson and Spearman correlation (Figure 3b's "more
+//!   strongly correlated" claim, made numeric);
+//! * [`dedup`] — group-interaction deduplication (§4.1: "the collective
+//!   recommendation power of groups does not artificially inflate the
+//!   aggregate activity");
+//! * [`ascii`] — terminal rendering for the bench harnesses, so every
+//!   reproduced figure is visible in CI logs without a plotting stack.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ascii;
+pub mod cdf;
+pub mod corr;
+pub mod dedup;
+pub mod hist;
+
+pub use ascii::{ascii_cdf, ascii_histogram, ascii_scatter};
+pub use cdf::EmpiricalCdf;
+pub use corr::{pearson, spearman};
+pub use dedup::dedup_group_episodes;
+pub use hist::Histogram;

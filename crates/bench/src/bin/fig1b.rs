@@ -1,0 +1,50 @@
+//! F1b — Figure 1(b): "Distribution across queries of the number of
+//! matching entities with 50 or more reviews."
+//!
+//! Paper: "for the median query in our measurements, the number of
+//! results with at least 50 reviews is 12 on Yelp, 2 on Angie's List, and
+//! 1 on Healthgrades, all of which constitute a small fraction of the
+//! total number of results."
+
+use orsp_aggregate::ascii_cdf;
+use orsp_bench::{compare, f, header, seed_from_args};
+use orsp_measure::Crawler;
+use orsp_types::ServiceKind;
+
+fn main() {
+    let seed = seed_from_args();
+    header("F1b", "Figure 1(b) — CDF across queries of #results with ≥50 reviews");
+    let reports = Crawler::crawl_all(seed);
+
+    for r in &reports {
+        let cdf = r.rich_results_cdf();
+        let series = cdf.log_series(1.0, 128.0);
+        println!();
+        println!(
+            "{}",
+            ascii_cdf(
+                &format!(
+                    "{} — cumulative fraction of queries vs #entities with ≥50 reviews",
+                    r.service.name()
+                ),
+                &series,
+                40
+            )
+        );
+    }
+
+    println!("PAPER vs MEASURED (median ≥50-review results per query)");
+    let get = |svc: ServiceKind| reports.iter().find(|r| r.service == svc).unwrap();
+    compare("Yelp median", "12", &f(get(ServiceKind::Yelp).median_rich_results()));
+    compare("Angie's List median", "2", &f(get(ServiceKind::AngiesList).median_rich_results()));
+    compare("Healthgrades median", "1", &f(get(ServiceKind::Healthgrades).median_rich_results()));
+
+    println!("\nSmall-fraction claim (median query):");
+    for r in &reports {
+        println!(
+            "  {:<14} rich results are {:.0}% of the median query's results",
+            r.service.name(),
+            100.0 * r.median_rich_fraction()
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! F1c — Figure 1(c): explicit vs implicit interaction counts on Google
+//! Play and YouTube.
+//!
+//! Paper: "the discrepancy between the number of users who have
+//! interacted with each entity and those who have explicitly provided
+//! feedback is more than an order of magnitude" (1000 sampled apps, 1000
+//! sampled videos).
+
+use orsp_aggregate::ascii_cdf;
+use orsp_bench::{compare, f, header, seed_from_args};
+use orsp_measure::EngagementStudy;
+use orsp_types::ServiceKind;
+
+fn main() {
+    let seed = seed_from_args();
+    header("F1c", "Figure 1(c) — explicit vs implicit interactions (Play / YouTube)");
+
+    for platform in ServiceKind::INTERACTION_PLATFORMS {
+        let study = EngagementStudy::generate(platform, seed);
+        let implicit = study.implicit_cdf();
+        let explicit = study.explicit_cdf();
+        println!();
+        println!(
+            "{}",
+            ascii_cdf(
+                &format!("{} — implicit interactions (installs/views)", platform.name()),
+                &implicit.log_series(1_000.0, 1_024_000_000.0),
+                40
+            )
+        );
+        println!(
+            "{}",
+            ascii_cdf(
+                &format!("{} — explicit feedback (reviews/likes/comments)", platform.name()),
+                &explicit.log_series(1_000.0, 1_024_000_000.0),
+                40
+            )
+        );
+        println!(
+            "  {} medians — implicit: {}, explicit: {}, per-entity median discrepancy: {}x",
+            platform.name(),
+            f(implicit.median().unwrap_or(f64::NAN)),
+            f(explicit.median().unwrap_or(f64::NAN)),
+            f(study.median_discrepancy()),
+        );
+    }
+
+    println!("\nPAPER vs MEASURED");
+    for platform in ServiceKind::INTERACTION_PLATFORMS {
+        let study = EngagementStudy::generate(platform, seed);
+        compare(
+            &format!("{} implicit:explicit discrepancy", platform.name()),
+            ">= 10x",
+            &format!("{}x", f(study.median_discrepancy())),
+        );
+    }
+}

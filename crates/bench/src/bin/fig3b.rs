@@ -1,0 +1,58 @@
+//! F3b — Figure 3(b): average distance travelled vs number of visits,
+//! dentists B and C.
+//!
+//! Paper: "the average distance travelled is more strongly correlated
+//! with the number of visits for dentist B than dentist C" — B's repeat
+//! patients go out of their way (endorsement), C's are a nearby captive
+//! population (convenience). Computed from the server's anonymous
+//! aggregate effort points.
+
+use orsp_aggregate::{ascii_scatter, pearson};
+use orsp_bench::{compare, f, header, seed_from_args};
+use orsp_core::{PipelineConfig, RspPipeline};
+use orsp_server::AggregatePublisher;
+use orsp_world::scenario::fig3_scenario;
+
+fn main() {
+    let seed = seed_from_args();
+    header("F3b", "Figure 3(b) — avg distance travelled vs #visits, dentists B/C");
+    let scenario = fig3_scenario(seed);
+    let outcome = RspPipeline::new(PipelineConfig::default()).run(&scenario.world);
+
+    let mut correlations = Vec::new();
+    for (label, dentist) in [("B", scenario.dentists.b), ("C", scenario.dentists.c)] {
+        let agg = outcome.aggregates.get(&dentist).expect("aggregate");
+        let points: Vec<(f64, f64)> =
+            agg.effort_points.iter().map(|&(n, d)| (n as f64, d)).collect();
+        let line = AggregatePublisher::mean_distance_by_count(agg);
+        println!();
+        println!(
+            "{}",
+            ascii_scatter(
+                &format!("Dentist {label} — avg distance (y, m) vs #visits (x)"),
+                &points,
+                48,
+                10
+            )
+        );
+        println!("  mean distance by visit count:");
+        for (n, d) in &line {
+            println!("    {n:>2} visits -> {:>7.0} m", d);
+        }
+        let r = pearson(&points).unwrap_or(f64::NAN);
+        println!("  pearson(visits, distance) = {}", f(r));
+        correlations.push((label, r));
+    }
+
+    println!("\nPAPER vs MEASURED");
+    compare(
+        "distance–visits correlation stronger for B than C",
+        "r(B) >> r(C)",
+        &format!("r(B)={} r(C)={}", f(correlations[0].1), f(correlations[1].1)),
+    );
+    assert!(
+        correlations[0].1 > correlations[1].1 + 0.2,
+        "figure shape violated: B must correlate more strongly than C"
+    );
+    println!("  shape check: PASS");
+}

@@ -1,0 +1,73 @@
+//! Adapters from the ground-truth world to the RSP's public listing data.
+//!
+//! The RSP legitimately knows its own listings (names, categories,
+//! locations, phone numbers) — that is the directory its client app and
+//! search index are built from. Nothing here touches ground-truth
+//! qualities or opinions.
+
+use orsp_client::EntityDirectory;
+use orsp_search::Listing;
+use orsp_types::{Category, EntityId};
+use orsp_world::World;
+use std::collections::HashMap;
+
+/// The client-side entity directory for a world.
+pub fn directory_entries(world: &World) -> Vec<EntityDirectory> {
+    world
+        .entities
+        .iter()
+        .map(|e| EntityDirectory {
+            id: e.id,
+            name: e.name.clone(),
+            category: e.category,
+            location: e.location,
+            phone: e.phone,
+        })
+        .collect()
+}
+
+/// The search-tier listings for a world.
+pub fn listings(world: &World) -> Vec<Listing> {
+    world
+        .entities
+        .iter()
+        .map(|e| Listing {
+            id: e.id,
+            name: e.name.clone(),
+            category: e.category,
+            location: e.location,
+            zipcode: e.zipcode,
+        })
+        .collect()
+}
+
+/// Entity → category map (the server's listing knowledge, needed by the
+/// profile builder and fraud detector).
+pub fn category_map(world: &World) -> HashMap<EntityId, Category> {
+    world.entities.iter().map(|e| (e.id, e.category)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orsp_world::WorldConfig;
+
+    #[test]
+    fn adapters_cover_every_entity() {
+        let world = World::generate(WorldConfig::tiny(3)).unwrap();
+        assert_eq!(directory_entries(&world).len(), world.entities.len());
+        assert_eq!(listings(&world).len(), world.entities.len());
+        assert_eq!(category_map(&world).len(), world.entities.len());
+    }
+
+    #[test]
+    fn listings_preserve_fields() {
+        let world = World::generate(WorldConfig::tiny(3)).unwrap();
+        let ls = listings(&world);
+        let e = &world.entities[0];
+        let l = ls.iter().find(|l| l.id == e.id).unwrap();
+        assert_eq!(l.name, e.name);
+        assert_eq!(l.category, e.category);
+        assert_eq!(l.zipcode, e.zipcode);
+    }
+}

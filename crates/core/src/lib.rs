@@ -1,0 +1,48 @@
+//! # orsp-core
+//!
+//! The end-to-end recommendation-sharing system: this crate wires every
+//! substrate into the architecture of the paper's Figure 2 —
+//!
+//! ```text
+//!  orsp-world ──► orsp-sensors ──► orsp-client ──► orsp-anonet ──► orsp-server
+//!  (ground        (GPS / calls /   (map, session-   (unlinkable     (tokens, store,
+//!   truth)         payments)        ize, store,      channels,       profiles, fraud,
+//!                                   defer uploads)   batch mix)      aggregates)
+//!                                        │                               │
+//!                                        ▼                               ▼
+//!                                  orsp-inference ◄──────────────── orsp-search
+//!                                  (features, train on reviewers,   (explicit ⊕ inferred
+//!                                   predict or abstain)              ranking)
+//! ```
+//!
+//! [`pipeline::RspPipeline`] runs the whole thing over a generated world
+//! and returns a [`pipeline::PipelineOutcome`] with every artifact the
+//! experiments need: the populated server, per-entity aggregates and
+//! inferred-opinion histograms, the adversary's observations, fraud
+//! verdicts, and inference evaluations against latent ground truth.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coverage;
+pub mod directory;
+pub mod pipeline;
+
+pub use coverage::{CoverageReport, OpinionCounts};
+pub use directory::{category_map, directory_entries, listings};
+pub use pipeline::{PipelineConfig, PipelineOutcome, RspPipeline};
+
+/// Convenience re-exports of the crates behind the facade.
+pub mod prelude {
+    pub use orsp_aggregate as aggregate;
+    pub use orsp_anonet as anonet;
+    pub use orsp_client as client;
+    pub use orsp_crypto as crypto;
+    pub use orsp_inference as inference;
+    pub use orsp_measure as measure;
+    pub use orsp_search as search;
+    pub use orsp_sensors as sensors;
+    pub use orsp_server as server;
+    pub use orsp_types as types;
+    pub use orsp_world as world;
+}

@@ -1,0 +1,260 @@
+//! Remote attestation (§4.3).
+//!
+//! *"Sophisticated adversaries could get an RSP to infer fake
+//! recommendations either by modifying the RSP's app (or reverse
+//! engineering the app's protocol ...) ... To combat such attacks, RSPs
+//! can employ remote attestation \[31, 26\] to confirm that the client
+//! has not been modified."*
+//!
+//! A software simulation of the TPM-style quote protocol:
+//!
+//! 1. at install time the device generates an **attestation keypair** and
+//!    registers the public half with the RSP (this happens on the
+//!    authenticated token-issuance path, so it costs no anonymity);
+//! 2. to attest, the RSP sends a fresh **nonce**; the device's trusted
+//!    layer measures the client binary (here: a SHA-256 *measurement*)
+//!    and returns a **quote** — a signature over `nonce ‖ measurement`;
+//! 3. the RSP checks the signature against the registered key and the
+//!    measurement against the published genuine value.
+//!
+//! A modified client produces a different measurement; an attacker
+//! without the device key cannot sign; a replayed quote fails the nonce
+//! check.
+
+use crate::rsa::{RsaKeyPair, RsaPublicKey};
+use crate::sha256::{sha256, Sha256};
+use orsp_types::DeviceId;
+use rand::Rng;
+
+/// A client-binary measurement (hash of the code the device is running).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Measurement(pub [u8; 32]);
+
+impl Measurement {
+    /// Measure a client binary (its code bytes).
+    pub fn of_binary(code: &[u8]) -> Measurement {
+        Measurement(sha256(code))
+    }
+}
+
+/// A fresh challenge from the verifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttestationChallenge {
+    /// Random nonce; single use.
+    pub nonce: [u8; 32],
+}
+
+/// The device's quote: measurement + signature over (nonce, measurement).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quote {
+    /// The measurement the trusted layer took.
+    pub measurement: Measurement,
+    /// RSA signature over `SHA256(nonce ‖ measurement)`.
+    pub signature: crate::bigint::BigUint,
+}
+
+/// The device-side attestor (models the TPM + trusted measurement layer).
+pub struct Attestor {
+    key: RsaKeyPair,
+    /// What the trusted layer measures on this device — the *actual*
+    /// running client, which an attacker can change but not lie about.
+    running_binary: Vec<u8>,
+}
+
+impl Attestor {
+    /// Provision an attestor with a fresh key for a device running
+    /// `binary`.
+    pub fn provision<R: Rng + ?Sized>(rng: &mut R, modulus_bits: usize, binary: &[u8]) -> Self {
+        Attestor { key: RsaKeyPair::generate(rng, modulus_bits), running_binary: binary.to_vec() }
+    }
+
+    /// The public key to register with the RSP.
+    pub fn public_key(&self) -> &RsaPublicKey {
+        &self.key.public
+    }
+
+    /// The adversary's move: swap the running client for a modified one.
+    /// The trusted layer will measure the new binary honestly.
+    pub fn replace_binary(&mut self, binary: &[u8]) {
+        self.running_binary = binary.to_vec();
+    }
+
+    /// Answer a challenge.
+    pub fn quote(&self, challenge: &AttestationChallenge) -> Quote {
+        let measurement = Measurement::of_binary(&self.running_binary);
+        let mut h = Sha256::new();
+        h.update(&challenge.nonce);
+        h.update(&measurement.0);
+        Quote { measurement, signature: self.key.sign_digest(&h.finalize()) }
+    }
+}
+
+/// Server-side verification state.
+pub struct AttestationVerifier {
+    /// The published measurement of the genuine client.
+    pub genuine: Measurement,
+}
+
+/// Why a quote was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttestError {
+    /// The signature did not verify under the registered key.
+    BadSignature,
+    /// The measurement differs from the genuine client's.
+    ModifiedClient,
+}
+
+impl AttestationVerifier {
+    /// A verifier for the given genuine measurement.
+    pub fn new(genuine: Measurement) -> Self {
+        AttestationVerifier { genuine }
+    }
+
+    /// Issue a fresh challenge.
+    pub fn challenge<R: Rng + ?Sized>(&self, rng: &mut R) -> AttestationChallenge {
+        let mut nonce = [0u8; 32];
+        rng.fill(&mut nonce);
+        AttestationChallenge { nonce }
+    }
+
+    /// Verify a quote for a device whose registered key is `key`.
+    pub fn verify(
+        &self,
+        key: &RsaPublicKey,
+        challenge: &AttestationChallenge,
+        quote: &Quote,
+    ) -> Result<(), AttestError> {
+        let mut h = Sha256::new();
+        h.update(&challenge.nonce);
+        h.update(&quote.measurement.0);
+        if !key.verify_digest(&h.finalize(), &quote.signature) {
+            return Err(AttestError::BadSignature);
+        }
+        if quote.measurement != self.genuine {
+            return Err(AttestError::ModifiedClient);
+        }
+        Ok(())
+    }
+}
+
+/// Registry of device attestation keys (populated at install).
+#[derive(Default)]
+pub struct KeyRegistry {
+    keys: std::collections::HashMap<DeviceId, RsaPublicKey>,
+}
+
+impl KeyRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a device's attestation key.
+    pub fn register(&mut self, device: DeviceId, key: RsaPublicKey) {
+        self.keys.insert(device, key);
+    }
+
+    /// Look up a device's key.
+    pub fn key_of(&self, device: DeviceId) -> Option<&RsaPublicKey> {
+        self.keys.get(&device)
+    }
+
+    /// Number of registered devices.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True iff no devices registered.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const GENUINE: &[u8] = b"orsp-client v1.0 genuine binary";
+    const MODIFIED: &[u8] = b"orsp-client v1.0 with fake-visit injector";
+
+    fn setup() -> (Attestor, AttestationVerifier, StdRng) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let attestor = Attestor::provision(&mut rng, 256, GENUINE);
+        let verifier = AttestationVerifier::new(Measurement::of_binary(GENUINE));
+        (attestor, verifier, rng)
+    }
+
+    #[test]
+    fn genuine_client_attests() {
+        let (attestor, verifier, mut rng) = setup();
+        let challenge = verifier.challenge(&mut rng);
+        let quote = attestor.quote(&challenge);
+        assert_eq!(verifier.verify(attestor.public_key(), &challenge, &quote), Ok(()));
+    }
+
+    #[test]
+    fn modified_client_is_detected() {
+        let (mut attestor, verifier, mut rng) = setup();
+        attestor.replace_binary(MODIFIED);
+        let challenge = verifier.challenge(&mut rng);
+        let quote = attestor.quote(&challenge);
+        assert_eq!(
+            verifier.verify(attestor.public_key(), &challenge, &quote),
+            Err(AttestError::ModifiedClient)
+        );
+    }
+
+    #[test]
+    fn modified_client_cannot_lie_about_measurement() {
+        // The attacker forges a quote claiming the genuine measurement but
+        // can only sign what the trusted layer measured — so they must
+        // tamper with the signature, which fails verification.
+        let (mut attestor, verifier, mut rng) = setup();
+        attestor.replace_binary(MODIFIED);
+        let challenge = verifier.challenge(&mut rng);
+        let mut quote = attestor.quote(&challenge);
+        quote.measurement = Measurement::of_binary(GENUINE); // the lie
+        assert_eq!(
+            verifier.verify(attestor.public_key(), &challenge, &quote),
+            Err(AttestError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn replayed_quote_fails_fresh_nonce() {
+        let (attestor, verifier, mut rng) = setup();
+        let old = verifier.challenge(&mut rng);
+        let quote = attestor.quote(&old);
+        let fresh = verifier.challenge(&mut rng);
+        assert_ne!(old.nonce, fresh.nonce);
+        assert_eq!(
+            verifier.verify(attestor.public_key(), &fresh, &quote),
+            Err(AttestError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let (attestor, verifier, mut rng) = setup();
+        let other = Attestor::provision(&mut rng, 256, GENUINE);
+        let challenge = verifier.challenge(&mut rng);
+        let quote = attestor.quote(&challenge);
+        assert_eq!(
+            verifier.verify(other.public_key(), &challenge, &quote),
+            Err(AttestError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn registry_round_trips() {
+        let (attestor, _, _) = setup();
+        let mut reg = KeyRegistry::new();
+        assert!(reg.is_empty());
+        reg.register(DeviceId::new(7), attestor.public_key().clone());
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.key_of(DeviceId::new(7)), Some(attestor.public_key()));
+        assert_eq!(reg.key_of(DeviceId::new(8)), None);
+    }
+}

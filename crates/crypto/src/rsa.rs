@@ -1,0 +1,145 @@
+//! Textbook RSA keypairs over [`BigUint`], used as the base signature
+//! scheme for Chaum blind signatures (§4.2's rate-limit tokens).
+//!
+//! Signatures are over 32-byte digests interpreted as integers; there is no
+//! padding scheme (simulation-grade — see the crate docs).
+
+use crate::bigint::BigUint;
+use crate::prime::random_prime;
+use rand::Rng;
+
+/// Default modulus size for simulation runs. Large enough that the
+/// adversary simulations cannot factor it by accident, small enough that
+/// keygen and thousands of token operations are fast.
+pub const DEFAULT_MODULUS_BITS: usize = 512;
+
+/// An RSA public key `(n, e)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RsaPublicKey {
+    /// Modulus.
+    pub n: BigUint,
+    /// Public exponent.
+    pub e: BigUint,
+}
+
+impl RsaPublicKey {
+    /// Verify a raw signature over a digest: `sig^e mod n == digest`.
+    pub fn verify_digest(&self, digest: &[u8], signature: &BigUint) -> bool {
+        let m = BigUint::from_bytes_be(digest).rem(&self.n);
+        signature.mod_pow(&self.e, &self.n) == m
+    }
+
+    /// Apply the public operation `m^e mod n` (used when blinding).
+    pub fn apply(&self, m: &BigUint) -> BigUint {
+        m.mod_pow(&self.e, &self.n)
+    }
+}
+
+/// An RSA keypair.
+#[derive(Debug, Clone)]
+pub struct RsaKeyPair {
+    /// The public half.
+    pub public: RsaPublicKey,
+    d: BigUint,
+}
+
+impl RsaKeyPair {
+    /// Generate a keypair with a modulus of `bits` bits (use
+    /// [`DEFAULT_MODULUS_BITS`] unless testing).
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> Self {
+        assert!(bits >= 32, "modulus too small to be meaningful");
+        let e = BigUint::from_u64(65_537);
+        loop {
+            let p = random_prime(rng, bits / 2);
+            let q = random_prime(rng, bits - bits / 2);
+            if p == q {
+                continue;
+            }
+            let n = p.mul(&q);
+            let phi = p.sub(&BigUint::one()).mul(&q.sub(&BigUint::one()));
+            if !phi.gcd(&e).is_one() {
+                continue;
+            }
+            let d = e.mod_inverse(&phi).expect("e coprime to phi");
+            return RsaKeyPair { public: RsaPublicKey { n, e }, d };
+        }
+    }
+
+    /// Sign a 32-byte digest: `digest^d mod n`.
+    pub fn sign_digest(&self, digest: &[u8]) -> BigUint {
+        let m = BigUint::from_bytes_be(digest).rem(&self.public.n);
+        m.mod_pow(&self.d, &self.public.n)
+    }
+
+    /// Apply the private operation to an arbitrary value (the mint signing
+    /// a *blinded* message it cannot read).
+    pub fn apply_private(&self, m: &BigUint) -> BigUint {
+        m.mod_pow(&self.d, &self.public.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::sha256;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_keypair(seed: u64) -> RsaKeyPair {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // 256-bit keys keep the test suite fast; protocol is identical.
+        RsaKeyPair::generate(&mut rng, 256)
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let kp = test_keypair(1);
+        let digest = sha256(b"hello opinions");
+        let sig = kp.sign_digest(&digest);
+        assert!(kp.public.verify_digest(&digest, &sig));
+    }
+
+    #[test]
+    fn wrong_digest_fails() {
+        let kp = test_keypair(2);
+        let sig = kp.sign_digest(&sha256(b"message A"));
+        assert!(!kp.public.verify_digest(&sha256(b"message B"), &sig));
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let kp1 = test_keypair(3);
+        let kp2 = test_keypair(4);
+        let digest = sha256(b"msg");
+        let sig = kp1.sign_digest(&digest);
+        assert!(!kp2.public.verify_digest(&digest, &sig));
+    }
+
+    #[test]
+    fn tampered_signature_fails() {
+        let kp = test_keypair(5);
+        let digest = sha256(b"msg");
+        let sig = kp.sign_digest(&digest).add(&BigUint::one());
+        assert!(!kp.public.verify_digest(&digest, &sig));
+    }
+
+    #[test]
+    fn public_private_are_inverses() {
+        let kp = test_keypair(6);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..4 {
+            let m = BigUint::random_below(&mut rng, &kp.public.n);
+            let c = kp.public.apply(&m);
+            assert_eq!(kp.apply_private(&c), m);
+            let s = kp.apply_private(&m);
+            assert_eq!(kp.public.apply(&s), m);
+        }
+    }
+
+    #[test]
+    fn keygen_is_deterministic_per_seed() {
+        let a = test_keypair(42);
+        let b = test_keypair(42);
+        assert_eq!(a.public, b.public);
+    }
+}

@@ -1,0 +1,42 @@
+//! # orsp-inference
+//!
+//! The paper's primary technical contribution (§4.1, "Effort is
+//! endorsement"): *"infer a predictive classifier that takes as input
+//! observations of a user's interactions with an entity and either outputs
+//! a numerical rating between 0 and 5 or declares it infeasible to
+//! accurately gauge the user's opinion."*
+//!
+//! * [`features`] — the three feature families §4.1 prescribes:
+//!   **effort** (distance travelled, dwell, cadence), **exploration**
+//!   ("tried out many options before settling"), and **choice set**
+//!   ("number of other similar options from among which the user
+//!   selected").
+//! * [`ridge`] — a closed-form ridge-regression rating predictor (trained
+//!   on the reviewer minority's explicit ratings).
+//! * [`knn`] — a k-nearest-neighbour comparator over normalized features.
+//! * [`predictor`] — the abstaining ensemble: predicts only when its
+//!   members agree and the pair has enough signal; otherwise returns
+//!   [`Prediction::Abstain`] (footnote 1 of the paper: the RSP "must
+//!   strive to identify instances when accurate inference is infeasible").
+//! * [`baseline`] — the naive repeat-count heuristic every evaluation
+//!   compares against.
+//! * [`metrics`] — MAE / RMSE / coverage / abstention quality.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod features;
+pub mod grouped;
+pub mod knn;
+pub mod metrics;
+pub mod predictor;
+pub mod ridge;
+
+pub use baseline::RepeatCountBaseline;
+pub use features::{FeatureVector, PairContext, FEATURE_COUNT, FEATURE_NAMES};
+pub use grouped::{GroupedPredictor, MIN_GROUP_LABELS};
+pub use knn::KnnRegressor;
+pub use metrics::{EvalReport, LabeledExample};
+pub use predictor::{AbstainReason, OpinionPredictor, Prediction};
+pub use ridge::RidgeRegressor;

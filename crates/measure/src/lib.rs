@@ -1,0 +1,34 @@
+//! # orsp-measure
+//!
+//! The measurement-study substrate. The paper's §2 evidence comes from
+//! live crawls of Yelp, Angie's List, Healthgrades, Google Play, and
+//! YouTube; those sites cannot be crawled here, so this crate builds
+//! *synthetic catalogs whose generators are calibrated to the statistics
+//! the paper reports*, plus the crawler that recomputes those statistics
+//! from the generated data. The harnesses never print paper constants —
+//! they crawl and measure, exactly as the authors did.
+//!
+//! Calibration targets (from the paper):
+//!
+//! | Statistic | Yelp | Angie's List | Healthgrades |
+//! |---|---|---|---|
+//! | Total entities (Table 1) | 24,417 | 26,066 | 24,922 |
+//! | Categories queried | 9 | 24 | 4 |
+//! | Median reviews per entity (Fig 1a) | 25 | 8 | 5 |
+//! | Median per-query results with ≥50 reviews (Fig 1b) | 12 | 2 | 1 |
+//!
+//! And for Fig 1(c): explicit feedback on Google Play / YouTube runs *at
+//! least an order of magnitude* below implicit interaction counts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod crawler;
+pub mod engagement;
+pub mod reviews;
+
+pub use catalog::{CatalogEntity, ServiceCatalog};
+pub use crawler::{CrawlReport, Crawler};
+pub use engagement::{EngagementStudy, PlatformEntity};
+pub use reviews::ReviewDistribution;

@@ -1,0 +1,27 @@
+//! # orsp-search
+//!
+//! The search surface of the re-architected recommendation service
+//! (§3.1): *"For every search result, the RSP can show not only reviews
+//! explicitly contributed by users but also a summary of inferred
+//! opinions."*
+//!
+//! * [`index`] — the (zipcode, category) query index, the exact query
+//!   shape of the paper's measurement study;
+//! * [`ranking`] — scoring that blends explicit reviews with inferred
+//!   opinion summaries (support-weighted, prior-smoothed);
+//! * [`personalize`] — §5's incentive mechanism: *"for any search query
+//!   issued by a user, the RSP could tailor results based on the user's
+//!   history"*.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod index;
+pub mod parse;
+pub mod personalize;
+pub mod ranking;
+
+pub use index::{Listing, SearchIndex, SearchQuery};
+pub use parse::{parse_query, ParseError};
+pub use personalize::PersonalHistory;
+pub use ranking::{InferredSummary, RankedResult, Ranker, ReviewSummary};

@@ -1,0 +1,173 @@
+//! Text query parsing: `"thai restaurant near 19120"` → a structured
+//! [`SearchQuery`] — the front door a real search box needs.
+//!
+//! Grammar (case-insensitive):
+//!
+//! ```text
+//! query    := category-words ("near" | "in")? zipcode
+//! zipcode  := 5-digit number (anywhere in the string)
+//! category := longest label match against the full taxonomy
+//! ```
+
+use crate::index::SearchQuery;
+use orsp_types::{Category, Cuisine, Specialty, Trade};
+
+/// Why a query string failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// No 5-digit zipcode found.
+    MissingZipcode,
+    /// No category label matched.
+    UnknownCategory(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::MissingZipcode => write!(f, "no 5-digit zipcode in query"),
+            ParseError::UnknownCategory(s) => write!(f, "unrecognized category: {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// All (label, category) pairs in the taxonomy, plus common aliases.
+fn vocabulary() -> Vec<(String, Category)> {
+    let mut v: Vec<(String, Category)> = Vec::new();
+    for &c in Cuisine::ALL {
+        v.push((c.label().to_lowercase(), Category::Restaurant(c)));
+        v.push((format!("{} restaurant", c.label().to_lowercase()), Category::Restaurant(c)));
+        v.push((format!("{} food", c.label().to_lowercase()), Category::Restaurant(c)));
+    }
+    for &s in Specialty::ALL {
+        v.push((s.label().to_lowercase(), Category::Doctor(s)));
+    }
+    v.push(("doctor".into(), Category::Doctor(Specialty::FamilyMedicine)));
+    v.push(("pediatrician".into(), Category::Doctor(Specialty::Pediatrics)));
+    for &t in Trade::ALL {
+        v.push((t.label().to_lowercase(), Category::ServiceProvider(t)));
+    }
+    v.push(("hvac repair".into(), Category::ServiceProvider(Trade::Hvac)));
+    v.push(("exterminator".into(), Category::ServiceProvider(Trade::PestControl)));
+    v
+}
+
+/// Parse a free-text query.
+///
+/// ```
+/// use orsp_search::parse_query;
+/// use orsp_types::{Category, Specialty};
+/// let q = parse_query("dentist near 19120").unwrap();
+/// assert_eq!(q.zipcode, 19120);
+/// assert_eq!(q.category, Category::Doctor(Specialty::Dentist));
+/// ```
+pub fn parse_query(input: &str) -> Result<SearchQuery, ParseError> {
+    let lower = input.to_lowercase();
+    // Zipcode: the first standalone 5-digit token.
+    let zipcode = lower
+        .split(|c: char| !c.is_ascii_digit())
+        .find(|tok| tok.len() == 5)
+        .and_then(|tok| tok.parse::<u32>().ok())
+        .ok_or(ParseError::MissingZipcode)?;
+
+    // Category: longest label contained in the query.
+    let mut best: Option<(usize, Category)> = None;
+    for (label, category) in vocabulary() {
+        if lower.contains(&label) && best.map_or(true, |(len, _)| label.len() > len) {
+            best = Some((label.len(), category));
+        }
+    }
+    let (_, category) = best.ok_or_else(|| {
+        // Strip the zipcode and connectives for a useful error.
+        let gist = lower
+            .replace(|c: char| c.is_ascii_digit(), "")
+            .replace(" near ", " ")
+            .replace(" in ", " ")
+            .trim()
+            .to_string();
+        ParseError::UnknownCategory(gist)
+    })?;
+    Ok(SearchQuery { zipcode, category })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cuisine_queries() {
+        assert_eq!(
+            parse_query("thai near 19120").unwrap(),
+            SearchQuery { zipcode: 19120, category: Category::Restaurant(Cuisine::Thai) }
+        );
+        assert_eq!(
+            parse_query("Chinese restaurant in 11368").unwrap(),
+            SearchQuery { zipcode: 11368, category: Category::Restaurant(Cuisine::Chinese) }
+        );
+    }
+
+    #[test]
+    fn doctor_queries() {
+        assert_eq!(
+            parse_query("dentist near 48104").unwrap(),
+            SearchQuery { zipcode: 48104, category: Category::Doctor(Specialty::Dentist) }
+        );
+        assert_eq!(
+            parse_query("pediatrician 90210").unwrap(),
+            SearchQuery { zipcode: 90210, category: Category::Doctor(Specialty::Pediatrics) }
+        );
+    }
+
+    #[test]
+    fn trade_queries_and_aliases() {
+        assert_eq!(
+            parse_query("plumber in 30301").unwrap().category,
+            Category::ServiceProvider(Trade::Plumber)
+        );
+        assert_eq!(
+            parse_query("exterminator 30301").unwrap().category,
+            Category::ServiceProvider(Trade::PestControl)
+        );
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        // "house cleaner" must not match some shorter label embedded in it.
+        assert_eq!(
+            parse_query("house cleaner near 02139").unwrap().category,
+            Category::ServiceProvider(Trade::HouseCleaner)
+        );
+    }
+
+    #[test]
+    fn missing_zipcode_errors() {
+        assert_eq!(parse_query("thai restaurant"), Err(ParseError::MissingZipcode));
+        // 4-digit numbers are not zipcodes.
+        assert_eq!(parse_query("thai 1234"), Err(ParseError::MissingZipcode));
+    }
+
+    #[test]
+    fn unknown_category_errors() {
+        match parse_query("quantum entangler near 19120") {
+            Err(ParseError::UnknownCategory(gist)) => {
+                assert!(gist.contains("quantum"));
+            }
+            other => panic!("expected UnknownCategory, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert_eq!(
+            parse_query("DENTIST NEAR 19120").unwrap().category,
+            Category::Doctor(Specialty::Dentist)
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ParseError::MissingZipcode.to_string().contains("zipcode"));
+        assert!(ParseError::UnknownCategory("x".into()).to_string().contains('x'));
+    }
+}

@@ -1,0 +1,40 @@
+//! # orsp-sensors
+//!
+//! The sensor layer between the ground-truth world and the RSP's client:
+//! renders a user's activity into the *observables a smartphone actually
+//! produces* — noisy location fixes, call-log entries, payment records —
+//! under configurable location-sampling policies.
+//!
+//! This is the boundary that makes the evaluation honest: everything
+//! downstream (`orsp-client`, `orsp-server`, `orsp-inference`) sees only
+//! what these streams contain, never the world's ground truth.
+//!
+//! §5 of the paper ("Location tracking") calls for energy-efficient
+//! sampling: *"exploiting cues from sensors such as the accelerometer
+//! (e.g., to sample the user's location only when the user has been
+//! stationary for a few minutes and to resample only if the user moves)
+//! and by leveraging WiFi and cellular information, not only the GPS"*.
+//! The [`policy`] module implements naive periodic GPS, accelerometer-gated
+//! sampling, and WiFi-assisted sampling; [`energy`] accounts for what each
+//! costs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calls;
+pub mod energy;
+pub mod heartrate;
+pub mod location;
+pub mod movement;
+pub mod payments;
+pub mod policy;
+pub mod stream;
+
+pub use calls::CallRecord;
+pub use energy::{EnergyModel, EnergyReport};
+pub use heartrate::{hr_trace, mean_delta_in, HrSample};
+pub use location::{FixSource, LocationFix};
+pub use movement::{MovementTimeline, Segment, SegmentKind};
+pub use payments::PaymentRecord;
+pub use policy::SamplingPolicy;
+pub use stream::{render_user_trace, SensorTrace};

@@ -1,0 +1,232 @@
+//! The privacy-preserving egress: per-entity aggregates.
+//!
+//! §4.2: *"If an RSP uses histograms of inferred ratings or visualizations
+//! of aggregate user interactions to export its inferences to users, no
+//! information about any individual user is revealed."*
+//!
+//! [`EntityAggregate`] carries exactly the series the paper's Figure 3
+//! visualizations need — the visits-per-user histogram (3a) and the
+//! (visit count, average distance) points (3b) — plus summary statistics
+//! the search layer shows beside explicit reviews.
+
+use crate::store::HistoryStore;
+use orsp_types::{EntityId, InteractionKind};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Aggregate interaction statistics for one entity.
+///
+/// "Per user" here means per anonymous history: the server cannot count
+/// users, only `hash(Ru, e)` records — which is one per (user, entity)
+/// pair, exactly the right unit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EntityAggregate {
+    /// The entity.
+    pub entity: EntityId,
+    /// Number of anonymous histories (≈ distinct users who interacted).
+    pub histories: usize,
+    /// Total interactions across histories.
+    pub interactions: usize,
+    /// Histogram of interactions-per-history: index = count (capped),
+    /// value = how many histories. Figure 3(a)'s series.
+    pub visits_per_user: Vec<usize>,
+    /// (interaction count, mean distance travelled) per history —
+    /// Figure 3(b)'s scatter, with no user identity attached.
+    pub effort_points: Vec<(usize, f64)>,
+    /// Mean dwell minutes across visit interactions.
+    pub mean_dwell_min: f64,
+    /// Fraction of histories with 2+ interactions (repeat rate).
+    pub repeat_fraction: f64,
+}
+
+/// Cap for the visits-per-user histogram.
+const HISTOGRAM_CAP: usize = 20;
+
+/// Default k-anonymity floor: aggregates for entities with fewer
+/// anonymous histories than this are suppressed. The paper's claim that
+/// histograms reveal "no information about any individual user" is only
+/// true above a support floor — a histogram over one history *is* that
+/// user's visit pattern.
+pub const MIN_AGGREGATE_SUPPORT: usize = 5;
+
+/// Builds aggregates from the store.
+pub struct AggregatePublisher;
+
+impl AggregatePublisher {
+    /// Build the aggregate for one entity.
+    pub fn for_entity(store: &HistoryStore, entity: EntityId) -> EntityAggregate {
+        let mut agg = EntityAggregate {
+            entity,
+            histories: 0,
+            interactions: 0,
+            visits_per_user: vec![0; HISTOGRAM_CAP + 1],
+            effort_points: Vec::new(),
+            mean_dwell_min: 0.0,
+            repeat_fraction: 0.0,
+        };
+        let mut dwell_sum = 0.0;
+        let mut dwell_n = 0usize;
+        let mut repeats = 0usize;
+        for (_, stored) in store.histories_for_entity(entity) {
+            let n = stored.history.len();
+            agg.histories += 1;
+            agg.interactions += n;
+            agg.visits_per_user[n.min(HISTOGRAM_CAP)] += 1;
+            if n >= 2 {
+                repeats += 1;
+            }
+            let mean_dist = stored.history.mean_distance_m().unwrap_or(0.0);
+            agg.effort_points.push((n, mean_dist));
+            for r in stored.history.iter() {
+                if r.kind == InteractionKind::Visit {
+                    dwell_sum += r.duration.as_minutes_f64();
+                    dwell_n += 1;
+                }
+            }
+        }
+        agg.mean_dwell_min = if dwell_n == 0 { 0.0 } else { dwell_sum / dwell_n as f64 };
+        agg.repeat_fraction =
+            if agg.histories == 0 { 0.0 } else { repeats as f64 / agg.histories as f64 };
+        agg.effort_points.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        agg
+    }
+
+    /// Build aggregates for every entity present in the store.
+    pub fn all(store: &HistoryStore) -> HashMap<EntityId, EntityAggregate> {
+        let mut entities: Vec<EntityId> = store.iter().map(|(_, s)| s.entity).collect();
+        entities.sort_unstable();
+        entities.dedup();
+        entities.into_iter().map(|e| (e, Self::for_entity(store, e))).collect()
+    }
+
+    /// Like [`Self::all`], but suppress aggregates below a k-anonymity
+    /// support floor — the publishable egress.
+    pub fn all_published(
+        store: &HistoryStore,
+        min_support: usize,
+    ) -> HashMap<EntityId, EntityAggregate> {
+        Self::all(store)
+            .into_iter()
+            .filter(|(_, agg)| agg.histories >= min_support)
+            .collect()
+    }
+
+    /// Average distance travelled for histories with a given interaction
+    /// count — the Figure 3(b) line for one entity.
+    pub fn mean_distance_by_count(agg: &EntityAggregate) -> Vec<(usize, f64)> {
+        let mut by_count: HashMap<usize, (f64, usize)> = HashMap::new();
+        for &(n, d) in &agg.effort_points {
+            let e = by_count.entry(n).or_default();
+            e.0 += d;
+            e.1 += 1;
+        }
+        let mut out: Vec<(usize, f64)> =
+            by_count.into_iter().map(|(n, (sum, c))| (n, sum / c as f64)).collect();
+        out.sort_by_key(|&(n, _)| n);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orsp_types::{Interaction, RecordId, SimDuration, Timestamp};
+
+    fn add_history(store: &mut HistoryStore, rid: u8, entity: u64, visits: usize, dist: f64) {
+        for i in 0..visits {
+            store
+                .append(
+                    RecordId::from_bytes([rid; 32]),
+                    EntityId::new(entity),
+                    Interaction::solo(
+                        InteractionKind::Visit,
+                        Timestamp::from_seconds(i as i64 * 10 * 86_400),
+                        SimDuration::minutes(40),
+                        dist,
+                    ),
+                )
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn aggregate_counts_histories_and_interactions() {
+        let mut store = HistoryStore::new();
+        add_history(&mut store, 1, 5, 3, 100.0);
+        add_history(&mut store, 2, 5, 1, 200.0);
+        add_history(&mut store, 3, 9, 2, 50.0);
+        let agg = AggregatePublisher::for_entity(&store, EntityId::new(5));
+        assert_eq!(agg.histories, 2);
+        assert_eq!(agg.interactions, 4);
+        assert_eq!(agg.visits_per_user[3], 1);
+        assert_eq!(agg.visits_per_user[1], 1);
+        assert!((agg.repeat_fraction - 0.5).abs() < 1e-12);
+        assert!((agg.mean_dwell_min - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn effort_points_have_no_identity() {
+        let mut store = HistoryStore::new();
+        add_history(&mut store, 1, 5, 2, 300.0);
+        let agg = AggregatePublisher::for_entity(&store, EntityId::new(5));
+        // The aggregate type simply has no user/record field to leak.
+        assert_eq!(agg.effort_points, vec![(2, 300.0)]);
+    }
+
+    #[test]
+    fn histogram_caps_extreme_counts() {
+        let mut store = HistoryStore::new();
+        add_history(&mut store, 1, 5, 50, 10.0);
+        let agg = AggregatePublisher::for_entity(&store, EntityId::new(5));
+        assert_eq!(agg.visits_per_user[HISTOGRAM_CAP], 1);
+    }
+
+    #[test]
+    fn all_builds_every_entity() {
+        let mut store = HistoryStore::new();
+        add_history(&mut store, 1, 5, 2, 10.0);
+        add_history(&mut store, 2, 9, 1, 10.0);
+        let all = AggregatePublisher::all(&store);
+        assert_eq!(all.len(), 2);
+        assert!(all.contains_key(&EntityId::new(5)));
+        assert!(all.contains_key(&EntityId::new(9)));
+    }
+
+    #[test]
+    fn mean_distance_by_count_averages() {
+        let mut store = HistoryStore::new();
+        add_history(&mut store, 1, 5, 2, 100.0);
+        add_history(&mut store, 2, 5, 2, 300.0);
+        add_history(&mut store, 3, 5, 4, 500.0);
+        let agg = AggregatePublisher::for_entity(&store, EntityId::new(5));
+        let line = AggregatePublisher::mean_distance_by_count(&agg);
+        assert_eq!(line, vec![(2, 200.0), (4, 500.0)]);
+    }
+
+    #[test]
+    fn published_aggregates_respect_support_floor() {
+        let mut store = HistoryStore::new();
+        // Entity 5: 5 histories; entity 9: 1 history (one user's pattern).
+        for i in 0..5u8 {
+            add_history(&mut store, i, 5, 2, 100.0);
+        }
+        add_history(&mut store, 10, 9, 4, 100.0);
+        let published = AggregatePublisher::all_published(&store, MIN_AGGREGATE_SUPPORT);
+        assert!(published.contains_key(&EntityId::new(5)));
+        assert!(
+            !published.contains_key(&EntityId::new(9)),
+            "a single-user histogram must never be published"
+        );
+        // The unfiltered internal view still has both (analytics need it).
+        assert_eq!(AggregatePublisher::all(&store).len(), 2);
+    }
+
+    #[test]
+    fn empty_entity_aggregate() {
+        let store = HistoryStore::new();
+        let agg = AggregatePublisher::for_entity(&store, EntityId::new(1));
+        assert_eq!(agg.histories, 0);
+        assert_eq!(agg.repeat_fraction, 0.0);
+        assert_eq!(agg.mean_dwell_min, 0.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! The attestation gate: tokens only for attested devices (§4.3).
+//!
+//! Attestation runs on the *authenticated* token-issuance path, so it
+//! costs no anonymity: the RSP already knows which device is asking for
+//! tokens (that is how rate limiting works); it simply also demands proof
+//! that the device runs an unmodified client. Uploads remain anonymous —
+//! the tokens themselves are blind.
+
+use orsp_crypto::{
+    AttestError, AttestationChallenge, AttestationVerifier, KeyRegistry, Measurement, Quote,
+};
+use orsp_types::{DeviceId, SimDuration, Timestamp};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Gate state per device.
+#[derive(Debug, Clone, Copy)]
+struct Session {
+    challenge: AttestationChallenge,
+    issued_at: Timestamp,
+    passed: Option<Timestamp>,
+}
+
+/// Outcome of presenting a quote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateOutcome {
+    /// Device attested; token issuance unlocked until expiry.
+    Attested,
+    /// Quote rejected.
+    Rejected(AttestError),
+    /// No outstanding challenge for this device (ask for one first).
+    NoChallenge,
+    /// Device key unknown (register at install time).
+    UnknownDevice,
+}
+
+/// The attestation gate in front of the token mint.
+pub struct AttestationGate {
+    verifier: AttestationVerifier,
+    registry: KeyRegistry,
+    sessions: HashMap<DeviceId, Session>,
+    /// How long a successful attestation stays valid.
+    validity: SimDuration,
+    /// Challenges expire if unanswered this long.
+    challenge_ttl: SimDuration,
+}
+
+impl AttestationGate {
+    /// A gate for the given genuine client measurement.
+    pub fn new(genuine: Measurement, validity: SimDuration) -> Self {
+        AttestationGate {
+            verifier: AttestationVerifier::new(genuine),
+            registry: KeyRegistry::new(),
+            sessions: HashMap::new(),
+            validity,
+            challenge_ttl: SimDuration::minutes(10),
+        }
+    }
+
+    /// Register a device's attestation key (install time).
+    pub fn register_device(&mut self, device: DeviceId, key: orsp_crypto::RsaPublicKey) {
+        self.registry.register(device, key);
+    }
+
+    /// Start (or restart) an attestation: hand the device a challenge.
+    pub fn challenge<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        device: DeviceId,
+        now: Timestamp,
+    ) -> AttestationChallenge {
+        let challenge = self.verifier.challenge(rng);
+        self.sessions.insert(device, Session { challenge, issued_at: now, passed: None });
+        challenge
+    }
+
+    /// The device answers with a quote.
+    pub fn present_quote(&mut self, device: DeviceId, quote: &Quote, now: Timestamp) -> GateOutcome {
+        let Some(key) = self.registry.key_of(device) else {
+            return GateOutcome::UnknownDevice;
+        };
+        let Some(session) = self.sessions.get_mut(&device) else {
+            return GateOutcome::NoChallenge;
+        };
+        if now - session.issued_at > self.challenge_ttl {
+            self.sessions.remove(&device);
+            return GateOutcome::NoChallenge;
+        }
+        match self.verifier.verify(key, &session.challenge, quote) {
+            Ok(()) => {
+                session.passed = Some(now);
+                GateOutcome::Attested
+            }
+            Err(e) => GateOutcome::Rejected(e),
+        }
+    }
+
+    /// Is the device currently allowed to draw tokens?
+    pub fn is_attested(&self, device: DeviceId, now: Timestamp) -> bool {
+        self.sessions
+            .get(&device)
+            .and_then(|s| s.passed)
+            .map(|t| now - t <= self.validity)
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orsp_crypto::Attestor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const GENUINE: &[u8] = b"client v1";
+    const HACKED: &[u8] = b"client v1 + spoofing";
+
+    fn setup() -> (AttestationGate, Attestor, StdRng) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let attestor = Attestor::provision(&mut rng, 256, GENUINE);
+        let mut gate =
+            AttestationGate::new(Measurement::of_binary(GENUINE), SimDuration::DAY);
+        gate.register_device(DeviceId::new(1), attestor.public_key().clone());
+        (gate, attestor, rng)
+    }
+
+    #[test]
+    fn genuine_device_unlocks_tokens() {
+        let (mut gate, attestor, mut rng) = setup();
+        let now = Timestamp::EPOCH;
+        assert!(!gate.is_attested(DeviceId::new(1), now));
+        let challenge = gate.challenge(&mut rng, DeviceId::new(1), now);
+        let quote = attestor.quote(&challenge);
+        assert_eq!(gate.present_quote(DeviceId::new(1), &quote, now), GateOutcome::Attested);
+        assert!(gate.is_attested(DeviceId::new(1), now));
+    }
+
+    #[test]
+    fn attestation_expires() {
+        let (mut gate, attestor, mut rng) = setup();
+        let now = Timestamp::EPOCH;
+        let challenge = gate.challenge(&mut rng, DeviceId::new(1), now);
+        gate.present_quote(DeviceId::new(1), &attestor.quote(&challenge), now);
+        assert!(gate.is_attested(DeviceId::new(1), now + SimDuration::hours(23)));
+        assert!(!gate.is_attested(DeviceId::new(1), now + SimDuration::days(2)));
+    }
+
+    #[test]
+    fn hacked_client_is_rejected() {
+        let (mut gate, mut attestor, mut rng) = setup();
+        attestor.replace_binary(HACKED);
+        let now = Timestamp::EPOCH;
+        let challenge = gate.challenge(&mut rng, DeviceId::new(1), now);
+        let quote = attestor.quote(&challenge);
+        assert_eq!(
+            gate.present_quote(DeviceId::new(1), &quote, now),
+            GateOutcome::Rejected(AttestError::ModifiedClient)
+        );
+        assert!(!gate.is_attested(DeviceId::new(1), now));
+    }
+
+    #[test]
+    fn stale_challenge_rejected() {
+        let (mut gate, attestor, mut rng) = setup();
+        let now = Timestamp::EPOCH;
+        let challenge = gate.challenge(&mut rng, DeviceId::new(1), now);
+        let quote = attestor.quote(&challenge);
+        let late = now + SimDuration::hours(1);
+        assert_eq!(gate.present_quote(DeviceId::new(1), &quote, late), GateOutcome::NoChallenge);
+    }
+
+    #[test]
+    fn unknown_device_rejected() {
+        let (mut gate, attestor, mut rng) = setup();
+        let now = Timestamp::EPOCH;
+        let challenge = gate.challenge(&mut rng, DeviceId::new(99), now);
+        let quote = attestor.quote(&challenge);
+        assert_eq!(gate.present_quote(DeviceId::new(99), &quote, now), GateOutcome::UnknownDevice);
+    }
+
+    #[test]
+    fn quote_without_challenge_rejected() {
+        let (mut gate, attestor, mut rng) = setup();
+        let now = Timestamp::EPOCH;
+        // Build a quote against a challenge the gate never issued.
+        let verifier = AttestationVerifier::new(Measurement::of_binary(GENUINE));
+        let rogue_challenge = verifier.challenge(&mut rng);
+        let quote = attestor.quote(&rogue_challenge);
+        assert_eq!(gate.present_quote(DeviceId::new(1), &quote, now), GateOutcome::NoChallenge);
+    }
+}

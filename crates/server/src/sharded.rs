@@ -1,0 +1,260 @@
+//! A sharded, concurrent history store.
+//!
+//! The single-threaded [`crate::HistoryStore`] is fine for simulation;
+//! a production ingest tier shards the keyspace and verifies token
+//! signatures in parallel. The expensive step — RSA signature
+//! verification — is pure and embarrassingly parallel; only the
+//! double-spend ledger and the store appends need coordination, which the
+//! shards provide with one lock each (record ids are uniformly
+//! distributed, so contention is negligible).
+
+use crate::store::{HistoryStore, StoredHistory};
+use orsp_client::UploadRequest;
+use orsp_crypto::blind::verify_unblinded;
+use orsp_crypto::RsaPublicKey;
+use orsp_types::RecordId;
+use parking_lot::Mutex;
+use std::collections::HashSet;
+
+/// A history store split into independently locked shards.
+pub struct ShardedStore {
+    shards: Vec<Mutex<HistoryStore>>,
+}
+
+impl ShardedStore {
+    /// A store with `n` shards (at least 1).
+    pub fn new(n: usize) -> Self {
+        let n = n.max(1);
+        ShardedStore { shards: (0..n).map(|_| Mutex::new(HistoryStore::new())).collect() }
+    }
+
+    /// Which shard owns a record id (uniform, since ids are hash outputs).
+    fn shard_of(&self, record_id: &RecordId) -> usize {
+        let b = record_id.as_bytes();
+        (u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]) as usize)
+            % self.shards.len()
+    }
+
+    /// Append one interaction (locks only the owning shard).
+    pub fn append(
+        &self,
+        record_id: RecordId,
+        entity: orsp_types::EntityId,
+        interaction: orsp_types::Interaction,
+    ) -> orsp_types::Result<()> {
+        self.shards[self.shard_of(&record_id)].lock().append(record_id, entity, interaction)
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total histories across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True iff no histories stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total interactions across shards.
+    pub fn total_interactions(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().total_interactions()).sum()
+    }
+
+    /// Collapse into a single store for the analytics tier (profiles,
+    /// fraud, aggregates run offline over a merged snapshot).
+    pub fn into_merged(self) -> HistoryStore {
+        let mut merged = HistoryStore::new();
+        for shard in self.shards {
+            let shard = shard.into_inner();
+            for (rid, stored) in shard.iter() {
+                let StoredHistory { entity, history } = stored;
+                for r in history.iter() {
+                    let _ = merged.append(*rid, *entity, *r);
+                }
+            }
+        }
+        merged
+    }
+}
+
+/// Outcome of a parallel ingest run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ParallelStats {
+    /// Uploads accepted.
+    pub accepted: u64,
+    /// Signature failures.
+    pub bad_token: u64,
+    /// Double-spends caught by the shared ledger.
+    pub double_spend: u64,
+    /// Store rejections (malformed / out of order / entity mismatch).
+    pub store_rejected: u64,
+}
+
+/// Verify and ingest a batch of uploads across `threads` workers.
+///
+/// Phase 1 (parallel): RSA token verification — pure CPU.
+/// Phase 2 (parallel): ledger insert (sharded set) + store append
+/// (sharded map). The crossbeam scope guarantees all workers finish
+/// before we return.
+pub fn parallel_ingest(
+    uploads: &[UploadRequest],
+    mint_key: &RsaPublicKey,
+    store: &ShardedStore,
+    threads: usize,
+) -> ParallelStats {
+    let threads = threads.max(1);
+    // Sharded spend ledger, same sharding discipline as the store.
+    let ledger_shards: Vec<Mutex<HashSet<[u8; 32]>>> =
+        (0..store.shard_count()).map(|_| Mutex::new(HashSet::new())).collect();
+
+    let accepted = std::sync::atomic::AtomicU64::new(0);
+    let bad_token = std::sync::atomic::AtomicU64::new(0);
+    let double_spend = std::sync::atomic::AtomicU64::new(0);
+    let store_rejected = std::sync::atomic::AtomicU64::new(0);
+    use std::sync::atomic::Ordering::Relaxed;
+
+    let chunk = uploads.len().div_ceil(threads).max(1);
+    crossbeam::scope(|scope| {
+        for slice in uploads.chunks(chunk) {
+            let (ledger_shards, accepted, bad_token, double_spend, store_rejected) =
+                (&ledger_shards, &accepted, &bad_token, &double_spend, &store_rejected);
+            scope.spawn(move |_| {
+                for upload in slice {
+                    if !verify_unblinded(mint_key, &upload.token.message, &upload.token.signature)
+                    {
+                        bad_token.fetch_add(1, Relaxed);
+                        continue;
+                    }
+                    let key = upload.token.ledger_key();
+                    let shard = (key[0] as usize) % ledger_shards.len();
+                    if !ledger_shards[shard].lock().insert(key) {
+                        double_spend.fetch_add(1, Relaxed);
+                        continue;
+                    }
+                    match store.append(upload.record_id, upload.entity, upload.interaction) {
+                        Ok(()) => {
+                            accepted.fetch_add(1, Relaxed);
+                        }
+                        Err(_) => {
+                            store_rejected.fetch_add(1, Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("ingest worker panicked");
+
+    ParallelStats {
+        accepted: accepted.into_inner(),
+        bad_token: bad_token.into_inner(),
+        double_spend: double_spend.into_inner(),
+        store_rejected: store_rejected.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orsp_crypto::{TokenMint, TokenWallet};
+    use orsp_types::{
+        DeviceId, EntityId, Interaction, InteractionKind, SimDuration, Timestamp,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn uploads(n: usize, seed: u64) -> (Vec<UploadRequest>, RsaPublicKey) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut mint = TokenMint::new(&mut rng, 256, u32::MAX, SimDuration::DAY);
+        let mut wallet = TokenWallet::new(DeviceId::new(1), mint.public_key().clone());
+        let ups = (0..n)
+            .map(|i| {
+                wallet.request_token(&mut rng, &mut mint, Timestamp::EPOCH).unwrap();
+                UploadRequest {
+                    record_id: RecordId::from_bytes({
+                        let mut b = [0u8; 32];
+                        b[0] = (i % 251) as u8;
+                        b[1] = (i / 251) as u8;
+                        b
+                    }),
+                    entity: EntityId::new((i % 17) as u64),
+                    interaction: Interaction::solo(
+                        InteractionKind::Visit,
+                        Timestamp::from_seconds(i as i64 * 1_000),
+                        SimDuration::minutes(30),
+                        50.0,
+                    ),
+                    token: wallet.take_token().unwrap(),
+                    release_at: Timestamp::EPOCH,
+                }
+            })
+            .collect();
+        (ups, mint.public_key().clone())
+    }
+
+    #[test]
+    fn parallel_ingest_accepts_valid_uploads() {
+        let (ups, key) = uploads(60, 1);
+        let store = ShardedStore::new(8);
+        let stats = parallel_ingest(&ups, &key, &store, 4);
+        assert_eq!(stats.accepted, 60);
+        assert_eq!(stats.bad_token, 0);
+        assert_eq!(stats.double_spend, 0);
+        assert_eq!(store.total_interactions(), 60);
+    }
+
+    #[test]
+    fn double_spends_caught_across_threads() {
+        let (mut ups, key) = uploads(20, 2);
+        // Duplicate every upload: the replay must be caught exactly once
+        // each, regardless of which thread sees it first.
+        let dupes: Vec<UploadRequest> = ups.clone();
+        ups.extend(dupes);
+        let store = ShardedStore::new(8);
+        let stats = parallel_ingest(&ups, &key, &store, 4);
+        assert_eq!(stats.accepted + stats.store_rejected, 20);
+        assert_eq!(stats.double_spend, 20);
+    }
+
+    #[test]
+    fn forged_tokens_rejected_in_parallel() {
+        let (mut ups, key) = uploads(10, 3);
+        for u in &mut ups {
+            u.token.signature = orsp_crypto::BigUint::from_u64(99);
+        }
+        let store = ShardedStore::new(4);
+        let stats = parallel_ingest(&ups, &key, &store, 4);
+        assert_eq!(stats.accepted, 0);
+        assert_eq!(stats.bad_token, 10);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn merged_store_matches_serial_result() {
+        let (ups, key) = uploads(50, 4);
+        let sharded = ShardedStore::new(8);
+        parallel_ingest(&ups, &key, &sharded, 4);
+        let merged = sharded.into_merged();
+
+        let mut serial = HistoryStore::new();
+        for u in &ups {
+            let _ = serial.append(u.record_id, u.entity, u.interaction);
+        }
+        assert_eq!(merged.len(), serial.len());
+        assert_eq!(merged.total_interactions(), serial.total_interactions());
+    }
+
+    #[test]
+    fn single_shard_single_thread_degenerates_gracefully() {
+        let (ups, key) = uploads(10, 5);
+        let store = ShardedStore::new(1);
+        let stats = parallel_ingest(&ups, &key, &store, 1);
+        assert_eq!(stats.accepted, 10);
+        assert_eq!(store.shard_count(), 1);
+    }
+}

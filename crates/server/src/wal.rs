@@ -1,0 +1,320 @@
+//! A write-ahead log for the history store.
+//!
+//! Production ingest tiers don't keep a HashMap in RAM and hope; every
+//! accepted upload is appended to a durable log and the store is
+//! rebuilt by replay after a restart. This module defines the on-disk
+//! format and the replay path (over byte buffers — the I/O layer is the
+//! deployment's choice):
+//!
+//! ```text
+//! file   := header record*
+//! header := magic:u32 "OWAL" | version:u8
+//! record := len:u32 | crc32:u32 | payload[len]
+//! payload:= record_id[32] | entity:u64 | kind:u8 | start:i64
+//!         | duration:i64 | distance:f64 | group:u16
+//! ```
+//!
+//! All integers little-endian. The CRC covers the payload, so bit rot is
+//! caught; a truncated final record (crash mid-append) is detected and
+//! ignored, exactly like real WAL recovery.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use orsp_types::{
+    EntityId, Interaction, InteractionKind, OrspError, RecordId, SimDuration, Timestamp,
+};
+
+const MAGIC: u32 = 0x4F57_414C; // "OWAL"
+const VERSION: u8 = 1;
+const PAYLOAD_LEN: usize = 32 + 8 + 1 + 8 + 8 + 8 + 2;
+
+/// CRC-32 (IEEE 802.3), bitwise implementation — small and dependency-free.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// One logged entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WalEntry {
+    /// The anonymous history id.
+    pub record_id: RecordId,
+    /// The entity the record concerns.
+    pub entity: EntityId,
+    /// The interaction.
+    pub interaction: Interaction,
+}
+
+fn kind_to_u8(kind: InteractionKind) -> u8 {
+    match kind {
+        InteractionKind::Visit => 0,
+        InteractionKind::PhoneCall => 1,
+        InteractionKind::Payment => 2,
+        InteractionKind::OnlineUse => 3,
+    }
+}
+
+fn kind_from_u8(v: u8) -> Option<InteractionKind> {
+    Some(match v {
+        0 => InteractionKind::Visit,
+        1 => InteractionKind::PhoneCall,
+        2 => InteractionKind::Payment,
+        3 => InteractionKind::OnlineUse,
+        _ => return None,
+    })
+}
+
+/// Append-only WAL writer over an in-memory buffer.
+pub struct WalWriter {
+    buf: BytesMut,
+    entries: u64,
+}
+
+impl Default for WalWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WalWriter {
+    /// A fresh WAL with its header written.
+    pub fn new() -> Self {
+        let mut buf = BytesMut::with_capacity(4096);
+        buf.put_u32_le(MAGIC);
+        buf.put_u8(VERSION);
+        WalWriter { buf, entries: 0 }
+    }
+
+    /// Append one entry.
+    pub fn append(&mut self, entry: &WalEntry) {
+        let mut payload = BytesMut::with_capacity(PAYLOAD_LEN);
+        payload.put_slice(entry.record_id.as_bytes());
+        payload.put_u64_le(entry.entity.raw());
+        payload.put_u8(kind_to_u8(entry.interaction.kind));
+        payload.put_i64_le(entry.interaction.start.as_seconds());
+        payload.put_i64_le(entry.interaction.duration.as_seconds());
+        payload.put_f64_le(entry.interaction.distance_travelled_m);
+        payload.put_u16_le(entry.interaction.group_size);
+        self.buf.put_u32_le(payload.len() as u32);
+        self.buf.put_u32_le(crc32(&payload));
+        self.buf.put_slice(&payload);
+        self.entries += 1;
+    }
+
+    /// Entries appended so far.
+    pub fn len(&self) -> u64 {
+        self.entries
+    }
+
+    /// True iff no entries appended.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Finish and take the encoded log.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// Replay result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Replay {
+    /// Entries recovered, in append order.
+    pub entries: Vec<WalEntry>,
+    /// True when the log ended mid-record (crash during the last append);
+    /// everything before the tear was recovered.
+    pub torn_tail: bool,
+}
+
+/// Replay a WAL buffer.
+pub fn replay(mut data: &[u8]) -> orsp_types::Result<Replay> {
+    if data.len() < 5 {
+        return Err(OrspError::InvalidConfig("WAL too short for header".into()));
+    }
+    let magic = data.get_u32_le();
+    if magic != MAGIC {
+        return Err(OrspError::InvalidConfig(format!("bad WAL magic {magic:#010x}")));
+    }
+    let version = data.get_u8();
+    if version != VERSION {
+        return Err(OrspError::InvalidConfig(format!("unsupported WAL version {version}")));
+    }
+
+    let mut entries = Vec::new();
+    let mut torn_tail = false;
+    while !data.is_empty() {
+        if data.len() < 8 {
+            torn_tail = true;
+            break;
+        }
+        let len = data.get_u32_le() as usize;
+        let crc = data.get_u32_le();
+        if len != PAYLOAD_LEN {
+            return Err(OrspError::InvalidConfig(format!("bad record length {len}")));
+        }
+        if data.len() < len {
+            torn_tail = true;
+            break;
+        }
+        let payload = &data[..len];
+        if crc32(payload) != crc {
+            return Err(OrspError::InvalidConfig("WAL record checksum mismatch".into()));
+        }
+        let mut p = payload;
+        let mut record_id = [0u8; 32];
+        p.copy_to_slice(&mut record_id);
+        let entity = EntityId::new(p.get_u64_le());
+        let kind = kind_from_u8(p.get_u8())
+            .ok_or_else(|| OrspError::InvalidConfig("bad interaction kind".into()))?;
+        let start = Timestamp::from_seconds(p.get_i64_le());
+        let duration = SimDuration::seconds(p.get_i64_le());
+        let distance = p.get_f64_le();
+        let group_size = p.get_u16_le();
+        entries.push(WalEntry {
+            record_id: RecordId::from_bytes(record_id),
+            entity,
+            interaction: Interaction {
+                kind,
+                start,
+                duration,
+                distance_travelled_m: distance,
+                group_size,
+            },
+        });
+        data.advance(len);
+    }
+    Ok(Replay { entries, torn_tail })
+}
+
+/// Rebuild a [`crate::HistoryStore`] from a replayed WAL.
+pub fn rebuild_store(replayed: &Replay) -> crate::HistoryStore {
+    let mut store = crate::HistoryStore::new();
+    for e in &replayed.entries {
+        // Replay is idempotent over what the store accepted before; any
+        // entry it rejects now was rejected then too.
+        let _ = store.append(e.record_id, e.entity, e.interaction);
+    }
+    store
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn entry(n: u8, t: i64) -> WalEntry {
+        WalEntry {
+            record_id: RecordId::from_bytes([n; 32]),
+            entity: EntityId::new(n as u64),
+            interaction: Interaction::solo(
+                InteractionKind::Visit,
+                Timestamp::from_seconds(t),
+                SimDuration::minutes(30),
+                123.5,
+            ),
+        }
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"hello"), 0x3610_A686);
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut w = WalWriter::new();
+        for i in 0..10 {
+            w.append(&entry(i, i as i64 * 1_000));
+        }
+        assert_eq!(w.len(), 10);
+        let bytes = w.finish();
+        let r = replay(&bytes).unwrap();
+        assert!(!r.torn_tail);
+        assert_eq!(r.entries.len(), 10);
+        assert_eq!(r.entries[3], entry(3, 3_000));
+    }
+
+    #[test]
+    fn empty_log_replays_empty() {
+        let w = WalWriter::new();
+        assert!(w.is_empty());
+        let r = replay(&w.finish()).unwrap();
+        assert!(r.entries.is_empty());
+        assert!(!r.torn_tail);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(replay(&[0u8; 16]).is_err());
+        assert!(replay(&[]).is_err());
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut w = WalWriter::new();
+        w.append(&entry(1, 0));
+        let mut bytes = w.finish().to_vec();
+        // Flip a payload bit.
+        let last = bytes.len() - 4;
+        bytes[last] ^= 0x40;
+        assert!(matches!(replay(&bytes), Err(OrspError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn torn_tail_recovers_prefix() {
+        let mut w = WalWriter::new();
+        w.append(&entry(1, 0));
+        w.append(&entry(2, 1_000));
+        let bytes = w.finish();
+        // Crash mid-way through the second record.
+        let torn = &bytes[..bytes.len() - 10];
+        let r = replay(torn).unwrap();
+        assert!(r.torn_tail);
+        assert_eq!(r.entries.len(), 1);
+        assert_eq!(r.entries[0], entry(1, 0));
+    }
+
+    #[test]
+    fn rebuild_matches_original_store() {
+        let mut store = crate::HistoryStore::new();
+        let mut w = WalWriter::new();
+        for i in 0..20u8 {
+            let e = entry(i % 5, i as i64 * 10_000);
+            if store.append(e.record_id, e.entity, e.interaction).is_ok() {
+                w.append(&e);
+            }
+        }
+        let rebuilt = rebuild_store(&replay(&w.finish()).unwrap());
+        assert_eq!(rebuilt.len(), store.len());
+        assert_eq!(rebuilt.total_interactions(), store.total_interactions());
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_prop(
+            ids in proptest::collection::vec(0u8..=255, 1..40),
+            starts in proptest::collection::vec(0i64..1_000_000_000, 1..40),
+        ) {
+            let mut w = WalWriter::new();
+            let n = ids.len().min(starts.len());
+            let mut originals = Vec::new();
+            for i in 0..n {
+                let e = entry(ids[i], starts[i]);
+                w.append(&e);
+                originals.push(e);
+            }
+            let r = replay(&w.finish()).unwrap();
+            prop_assert_eq!(r.entries, originals);
+            prop_assert!(!r.torn_tail);
+        }
+    }
+}

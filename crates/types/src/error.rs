@@ -1,0 +1,74 @@
+//! Error types shared across the workspace.
+
+use crate::time::Timestamp;
+use std::fmt;
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, OrspError>;
+
+/// Errors that cross crate boundaries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrspError {
+    /// An interaction record failed basic validation (negative duration or
+    /// distance, empty group).
+    MalformedInteraction,
+    /// An interaction was appended out of chronological order.
+    OutOfOrderInteraction {
+        /// Start of the latest stored record.
+        last: Timestamp,
+        /// Start of the rejected record.
+        attempted: Timestamp,
+    },
+    /// A rate-limit token was missing, invalid, or already spent.
+    InvalidToken(String),
+    /// An upload was rejected by the server's admission checks.
+    UploadRejected(String),
+    /// A cryptographic operation failed (bad key, verification failure).
+    Crypto(String),
+    /// A requested object does not exist.
+    NotFound(String),
+    /// A configuration value is out of range or inconsistent.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for OrspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrspError::MalformedInteraction => write!(f, "malformed interaction record"),
+            OrspError::OutOfOrderInteraction { last, attempted } => write!(
+                f,
+                "out-of-order interaction: attempted start {attempted} precedes last {last}"
+            ),
+            OrspError::InvalidToken(msg) => write!(f, "invalid token: {msg}"),
+            OrspError::UploadRejected(msg) => write!(f, "upload rejected: {msg}"),
+            OrspError::Crypto(msg) => write!(f, "crypto error: {msg}"),
+            OrspError::NotFound(what) => write!(f, "not found: {what}"),
+            OrspError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OrspError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = OrspError::OutOfOrderInteraction {
+            last: Timestamp::from_seconds(100),
+            attempted: Timestamp::from_seconds(50),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("out-of-order"));
+        assert!(OrspError::InvalidToken("spent".into()).to_string().contains("spent"));
+        assert!(OrspError::NotFound("entity e9".into()).to_string().contains("e9"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&OrspError::MalformedInteraction);
+    }
+}

@@ -1,0 +1,42 @@
+//! # orsp-types
+//!
+//! Shared domain types for the `orsp` workspace — a reproduction of
+//! *"Towards Comprehensive Repositories of Opinions"* (HotNets 2016).
+//!
+//! This crate defines the vocabulary that every other crate speaks:
+//!
+//! * typed identifiers ([`UserId`], [`EntityId`], [`RecordId`], ...),
+//! * simulated time ([`Timestamp`], [`SimDuration`]) — library code never
+//!   touches the wall clock,
+//! * planar geography ([`GeoPoint`], [`Zipcode`]) used by the world
+//!   simulator and the client's entity mapper,
+//! * the entity taxonomy of the paper's measurement study
+//!   ([`Category`], [`Cuisine`], [`Specialty`], [`Trade`]),
+//! * ratings and opinions ([`Rating`], [`StarHistogram`]),
+//! * the interaction data model shared by the client, the server's
+//!   anonymous history store, and the inference engine
+//!   ([`Interaction`], [`InteractionHistory`]),
+//! * deterministic RNG derivation helpers ([`rng`]).
+//!
+//! Everything here is deliberately free of business logic: these are the
+//! nouns of the system, not its verbs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod category;
+pub mod error;
+pub mod geo;
+pub mod id;
+pub mod interaction;
+pub mod rating;
+pub mod rng;
+pub mod time;
+
+pub use category::{Category, Cuisine, ServiceKind, Specialty, Trade};
+pub use error::{OrspError, Result};
+pub use geo::{BoundingBox, GeoPoint, Zipcode};
+pub use id::{DeviceId, EntityId, GroupId, QueryId, RecordId, ReviewId, TokenId, UserId};
+pub use interaction::{Interaction, InteractionHistory, InteractionKind};
+pub use rating::{Rating, StarHistogram};
+pub use time::{SimDuration, Timestamp};
