@@ -1,0 +1,130 @@
+//! Pipeline scaling — multi-core speedup with bit-identical results.
+//!
+//! Runs the full end-to-end pipeline over one fixed world at 1, 2, 4,
+//! and N (machine) threads, times each run, and asserts that every
+//! thread count produces the same canonical outcome digest. The point is
+//! the pairing: the speedup numbers are only worth reporting because the
+//! digests prove parallelism changed nothing but the wall clock.
+//!
+//! Writes `results/BENCH_pipeline_scaling.json` alongside the printed
+//! table.
+
+use orsp_bench::{arg_u64, f, header, seed_from_args};
+use orsp_core::{digest_hex, outcome_digest, PipelineConfig, RspPipeline};
+use orsp_types::SimDuration;
+use orsp_world::{World, WorldConfig};
+use std::time::Instant;
+
+struct Row {
+    threads: usize,
+    secs: f64,
+    digest: String,
+    uploads: u64,
+}
+
+fn main() {
+    let seed = seed_from_args();
+    let users = arg_u64("users", 120) as usize;
+    header("SCALING", "End-to-end pipeline: threads vs wall clock, fixed digest");
+
+    let config = WorldConfig {
+        users_per_zipcode: users,
+        horizon: SimDuration::days(365),
+        ..WorldConfig::tiny(seed)
+    };
+    let world = World::generate(config).unwrap();
+    println!(
+        "\nworld: {} users, {} entities, horizon {} days, seed {}",
+        world.users.len(),
+        world.entities.len(),
+        world.config.horizon.as_days_f64(),
+        seed
+    );
+
+    let machine = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut counts = vec![1usize, 2, 4];
+    if !counts.contains(&machine) {
+        counts.push(machine);
+    }
+
+    println!(
+        "\n{:<10} {:>10} {:>10} {:>10}   {}",
+        "threads", "secs", "speedup", "uploads", "digest"
+    );
+    let mut rows: Vec<Row> = Vec::new();
+    for &threads in &counts {
+        let pipeline = RspPipeline::new(PipelineConfig {
+            threads,
+            ..PipelineConfig::default()
+        });
+        let start = Instant::now();
+        let outcome = pipeline.run(&world);
+        let secs = start.elapsed().as_secs_f64();
+        let digest = digest_hex(&outcome_digest(&outcome));
+        let speedup = rows.first().map(|b| b.secs / secs).unwrap_or(1.0);
+        println!(
+            "{:<10} {:>10} {:>9}x {:>10}   {}…",
+            threads,
+            f(secs),
+            f(speedup),
+            outcome.uploads_delivered,
+            &digest[..16]
+        );
+        rows.push(Row {
+            threads,
+            secs,
+            digest,
+            uploads: outcome.uploads_delivered,
+        });
+    }
+
+    let base = &rows[0];
+    for row in &rows[1..] {
+        assert_eq!(
+            row.digest, base.digest,
+            "digest diverges at {} threads — parallelism is not deterministic",
+            row.threads
+        );
+    }
+    println!("\nall digests identical: {}", base.digest);
+
+    if let Some(r4) = rows.iter().find(|r| r.threads == 4) {
+        let speedup = base.secs / r4.secs;
+        println!("speedup at 4 threads: {}x", f(speedup));
+        if speedup < 2.0 {
+            println!("WARNING: below the 2x target (shared machine? small world?)");
+        }
+    }
+
+    write_json(&rows, seed, world.users.len(), machine);
+}
+
+/// Hand-rolled JSON (the workspace has no serde_json): flat and stable.
+fn write_json(rows: &[Row], seed: u64, users: usize, cores: usize) {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"bench\": \"pipeline_scaling\",\n"));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"users\": {users},\n"));
+    out.push_str(&format!("  \"machine_cores\": {cores},\n"));
+    out.push_str(&format!("  \"digest\": \"{}\",\n", rows[0].digest));
+    out.push_str(&format!("  \"uploads_delivered\": {},\n", rows[0].uploads));
+    out.push_str("  \"runs\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"threads\": {}, \"secs\": {:.3}, \"speedup\": {:.3}}}{comma}\n",
+            row.threads,
+            row.secs,
+            rows[0].secs / row.secs
+        ));
+    }
+    out.push_str("  ]\n}\n");
+
+    let path = "results/BENCH_pipeline_scaling.json";
+    match std::fs::write(path, &out) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => println!("could not write {path}: {e}"),
+    }
+}

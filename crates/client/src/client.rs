@@ -13,12 +13,13 @@ use crate::mapper::EntityMapper;
 use crate::sessionizer::{SessionizerConfig, VisitSessionizer};
 use crate::transparency::TransparencyLog;
 use crate::uploader::{UploadRequest, UploadScheduler};
-use orsp_crypto::{DeviceSecret, TokenMint, TokenWallet};
+use orsp_crypto::{DeviceSecret, TokenIssuer, TokenWallet};
 use orsp_sensors::SensorTrace;
 use orsp_types::{
     DeviceId, EntityId, Interaction, InteractionKind, SimDuration, Timestamp,
 };
 use rand::Rng;
+use std::sync::Arc;
 
 /// Client configuration.
 #[derive(Debug, Clone, Copy)]
@@ -63,7 +64,10 @@ pub struct RspClient {
     device: DeviceId,
     secret: DeviceSecret,
     config: ClientConfig,
-    mapper: EntityMapper,
+    /// Shared, read-only directory index. An `Arc` because every client in
+    /// a simulated population uses the same directory — cloning the full
+    /// grid + tables per user dominated pipeline setup time.
+    mapper: Arc<EntityMapper>,
     store: LocalHistoryStore,
     log: TransparencyLog,
     scheduler: UploadScheduler,
@@ -74,7 +78,7 @@ impl RspClient {
     pub fn install<R: Rng + ?Sized>(
         rng: &mut R,
         device: DeviceId,
-        mapper: EntityMapper,
+        mapper: Arc<EntityMapper>,
         config: ClientConfig,
     ) -> Self {
         RspClient {
@@ -163,12 +167,12 @@ impl RspClient {
     /// Phase 2: log, store locally, and queue anonymous uploads for a set
     /// of inferences. `now` is the wall-clock at processing time (uploads
     /// defer from here).
-    pub fn submit<R: Rng + ?Sized>(
+    pub fn submit<R: Rng + ?Sized, M: TokenIssuer>(
         &mut self,
         rng: &mut R,
         inferences: &[(EntityId, Interaction)],
         wallet: &mut TokenWallet,
-        mint: &mut TokenMint,
+        mint: &mut M,
         now: Timestamp,
     ) -> ProcessSummary {
         let mut summary = ProcessSummary::default();
@@ -209,12 +213,12 @@ impl RspClient {
     /// moment its interaction ended — the realistic streaming path, where
     /// upload deferral is measured from the event, not from a batch pass.
     /// The local store is purged once, at `end`.
-    pub fn submit_streaming<R: Rng + ?Sized>(
+    pub fn submit_streaming<R: Rng + ?Sized, M: TokenIssuer>(
         &mut self,
         rng: &mut R,
         inferences: &[(EntityId, Interaction)],
         wallet: &mut TokenWallet,
-        mint: &mut TokenMint,
+        mint: &mut M,
         end: Timestamp,
     ) -> ProcessSummary {
         let mut summary = ProcessSummary::default();
@@ -244,12 +248,12 @@ impl RspClient {
     }
 
     /// The fully automatic path: infer everything and submit everything.
-    pub fn process_trace<R: Rng + ?Sized>(
+    pub fn process_trace<R: Rng + ?Sized, M: TokenIssuer>(
         &mut self,
         rng: &mut R,
         trace: &SensorTrace,
         wallet: &mut TokenWallet,
-        mint: &mut TokenMint,
+        mint: &mut M,
         now: Timestamp,
     ) -> ProcessSummary {
         let inferred = self.infer_interactions(trace);
@@ -289,6 +293,7 @@ impl RspClient {
 mod tests {
     use super::*;
     use crate::mapper::EntityDirectory;
+    use orsp_crypto::{TokenMint, TokenWallet};
     use orsp_sensors::{render_user_trace, EnergyModel, SamplingPolicy};
     use orsp_world::{World, WorldConfig};
     use rand::rngs::StdRng;
@@ -310,9 +315,9 @@ mod tests {
         )
     }
 
-    fn setup(seed: u64) -> (World, EntityMapper, TokenMint, StdRng) {
+    fn setup(seed: u64) -> (World, Arc<EntityMapper>, TokenMint, StdRng) {
         let world = World::generate(WorldConfig::tiny(seed)).unwrap();
-        let mapper = directory_from(&world);
+        let mapper = Arc::new(directory_from(&world));
         let mut rng = StdRng::seed_from_u64(seed);
         let mint = TokenMint::new(&mut rng, 256, 10_000, SimDuration::DAY);
         (world, mapper, mint, rng)

@@ -37,6 +37,7 @@ pub struct EntityMapper {
     grid: HashMap<(i64, i64), Vec<usize>>,
     by_phone: HashMap<u64, usize>,
     by_name: HashMap<String, usize>,
+    by_id: HashMap<EntityId, usize>,
 }
 
 impl EntityMapper {
@@ -46,12 +47,14 @@ impl EntityMapper {
             grid: HashMap::new(),
             by_phone: HashMap::new(),
             by_name: HashMap::new(),
+            by_id: HashMap::new(),
             entries,
         };
         for (i, e) in mapper.entries.iter().enumerate() {
             mapper.grid.entry(Self::cell(&e.location)).or_default().push(i);
             mapper.by_phone.insert(e.phone, i);
             mapper.by_name.insert(e.name.clone(), i);
+            mapper.by_id.insert(e.id, i);
         }
         mapper
     }
@@ -70,9 +73,10 @@ impl EntityMapper {
         self.entries.is_empty()
     }
 
-    /// Directory entry by id.
+    /// Directory entry by id. O(1) via the id index — this sits on the
+    /// pipeline's choice-set hot path, once per candidate entity per pair.
     pub fn entry(&self, id: EntityId) -> Option<&EntityDirectory> {
-        self.entries.iter().find(|e| e.id == id)
+        self.by_id.get(&id).map(|&i| &self.entries[i])
     }
 
     /// The nearest entity within `max_dist_m` of a point, if any.
@@ -210,5 +214,33 @@ mod tests {
         let m = EntityMapper::new(directory());
         assert_eq!(m.entry(EntityId::new(2)).unwrap().name, "Far Diner");
         assert!(m.entry(EntityId::new(99)).is_none());
+    }
+
+    #[test]
+    fn indexed_entry_matches_linear_scan() {
+        // The by_id index must agree with the old linear scan on a random
+        // directory, including ids that collide with none of the entries.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        let entries: Vec<EntityDirectory> = (0..200)
+            .map(|i| {
+                // Non-contiguous, shuffled-ish ids so index != id.
+                let id = EntityId::new(i * 7 % 1_000);
+                EntityDirectory {
+                    id,
+                    name: format!("e{}", id.raw()),
+                    category: Category::Restaurant(Cuisine::Thai),
+                    location: GeoPoint::new(rng.gen_range(0.0..5_000.0), rng.gen_range(0.0..5_000.0)),
+                    phone: 5_000_000 + id.raw(),
+                }
+            })
+            .collect();
+        let m = EntityMapper::new(entries.clone());
+        for probe in 0..1_000u64 {
+            let id = EntityId::new(probe);
+            let linear = entries.iter().find(|e| e.id == id);
+            assert_eq!(m.entry(id), linear, "divergence at id {probe}");
+        }
     }
 }

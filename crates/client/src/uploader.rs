@@ -11,7 +11,7 @@
 //! here we prepare one [`UploadRequest`] per inference with its own
 //! record id and rate-limit token).
 
-use orsp_crypto::{Token, TokenMint, TokenWallet};
+use orsp_crypto::{Token, TokenIssuer, TokenWallet};
 use orsp_types::{EntityId, Interaction, RecordId, SimDuration, Timestamp};
 use rand::Rng;
 use std::collections::BinaryHeap;
@@ -78,14 +78,14 @@ impl UploadScheduler {
     /// is counted as starved and dropped — the server would reject it
     /// anyway.
     #[allow(clippy::too_many_arguments)]
-    pub fn enqueue<R: Rng + ?Sized>(
+    pub fn enqueue<R: Rng + ?Sized, M: TokenIssuer>(
         &mut self,
         rng: &mut R,
         record_id: RecordId,
         entity: EntityId,
         interaction: Interaction,
         wallet: &mut TokenWallet,
-        mint: &mut TokenMint,
+        mint: &mut M,
         now: Timestamp,
     ) -> bool {
         if wallet.balance() == 0 {
@@ -137,7 +137,7 @@ impl UploadScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use orsp_crypto::DeviceSecret;
+    use orsp_crypto::{DeviceSecret, TokenMint};
     use orsp_types::{DeviceId, InteractionKind};
     use rand::rngs::StdRng;
     use rand::SeedableRng;

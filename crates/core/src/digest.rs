@@ -1,0 +1,158 @@
+//! Canonical digest of a pipeline run.
+//!
+//! [`outcome_digest`] folds every scoring-relevant artifact of a
+//! [`PipelineOutcome`](crate::PipelineOutcome) into one SHA-256 hash over
+//! a canonical byte encoding: map-shaped outputs are serialized in sorted
+//! key order and floats as exact IEEE-754 bit patterns, so two outcomes
+//! digest equal iff they are bit-for-bit the same result. This is how the
+//! scaling bench and the determinism tests assert that running the
+//! pipeline on 1, 2, or N threads changes nothing but the wall clock.
+
+use crate::PipelineOutcome;
+use orsp_crypto::sha256;
+use orsp_types::{EntityId, StarHistogram};
+use std::collections::HashMap;
+
+/// Accumulates the canonical encoding.
+#[derive(Default)]
+struct Encoder {
+    bytes: Vec<u8>,
+}
+
+impl Encoder {
+    fn u64(&mut self, v: u64) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        // Bit pattern, not value: -0.0 vs 0.0 and NaN payloads all count.
+        self.u64(v.to_bits());
+    }
+
+    fn raw(&mut self, v: &[u8]) {
+        self.bytes.extend_from_slice(v);
+    }
+
+    fn histograms(&mut self, hists: &HashMap<EntityId, StarHistogram>) {
+        let mut keys: Vec<EntityId> = hists.keys().copied().collect();
+        keys.sort_unstable();
+        self.u64(keys.len() as u64);
+        for k in keys {
+            self.u64(k.raw());
+            for (_, count) in hists[&k].iter() {
+                self.u64(count);
+            }
+        }
+    }
+}
+
+/// SHA-256 over the canonical encoding of a pipeline outcome.
+pub fn outcome_digest(outcome: &PipelineOutcome) -> [u8; 32] {
+    let mut enc = Encoder::default();
+
+    // Ingest counters.
+    let stats = outcome.ingest.stats();
+    enc.u64(outcome.uploads_delivered);
+    enc.u64(outcome.tokens_issued);
+    enc.u64(stats.accepted);
+    enc.u64(stats.bad_token);
+    enc.u64(stats.double_spend);
+    enc.u64(stats.bad_record);
+    enc.u64(stats.entity_mismatch);
+
+    // Record ownership (sorted by record id).
+    let mut owners: Vec<_> = outcome.record_owner.iter().collect();
+    owners.sort_by_key(|(rid, _)| **rid);
+    enc.u64(owners.len() as u64);
+    for (rid, (user, entity)) in owners {
+        enc.raw(rid.as_bytes());
+        enc.u64(user.raw());
+        enc.u64(entity.raw());
+    }
+
+    // Fraud: flagged (already sorted by the detector) and ground truth.
+    enc.u64(outcome.fraud_flagged.len() as u64);
+    for rid in &outcome.fraud_flagged {
+        enc.raw(rid.as_bytes());
+    }
+    let mut truth: Vec<_> = outcome.fraud_truth.iter().collect();
+    truth.sort_unstable();
+    enc.u64(truth.len() as u64);
+    for rid in truth {
+        enc.raw(rid.as_bytes());
+    }
+
+    // Aggregates (sorted by entity; floats as bits).
+    let mut entities: Vec<EntityId> = outcome.aggregates.keys().copied().collect();
+    entities.sort_unstable();
+    enc.u64(entities.len() as u64);
+    for e in entities {
+        let agg = &outcome.aggregates[&e];
+        enc.u64(e.raw());
+        enc.u64(agg.histories as u64);
+        enc.u64(agg.interactions as u64);
+        enc.f64(agg.mean_dwell_min);
+        enc.f64(agg.repeat_fraction);
+        enc.u64(agg.effort_points.len() as u64);
+        for &(n, d) in &agg.effort_points {
+            enc.u64(n as u64);
+            enc.f64(d);
+        }
+    }
+
+    // Histograms, inferred and explicit.
+    enc.histograms(&outcome.inferred_histograms);
+    enc.histograms(&outcome.explicit_histograms);
+
+    // Evaluation metrics.
+    for eval in [&outcome.eval, &outcome.eval_baseline, &outcome.eval_baseline_matched] {
+        enc.u64(eval.total as u64);
+        enc.u64(eval.predicted as u64);
+        enc.f64(eval.mae);
+        enc.f64(eval.rmse);
+        enc.f64(eval.coverage);
+        enc.f64(eval.within_one_star);
+    }
+
+    // Coverage.
+    enc.f64(outcome.coverage.median_before);
+    enc.f64(outcome.coverage.median_after);
+    enc.f64(outcome.coverage.mean_before);
+    enc.f64(outcome.coverage.mean_after);
+    enc.f64(outcome.coverage.zero_before);
+    enc.f64(outcome.coverage.zero_after);
+
+    // The full dataset, in emission order (itself deterministic).
+    enc.u64(outcome.dataset.len() as u64);
+    for p in &outcome.dataset {
+        enc.u64(p.user.raw());
+        enc.u64(p.entity.raw());
+        enc.u64(p.count as u64);
+        enc.f64(p.truth.value());
+        enc.f64(p.label.map(|r| r.value()).unwrap_or(f64::NEG_INFINITY));
+    }
+
+    sha256(&enc.bytes)
+}
+
+/// Hex rendering of a digest, for logs and results files.
+pub fn digest_hex(digest: &[u8; 32]) -> String {
+    let mut out = String::with_capacity(64);
+    for b in digest {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip_shape() {
+        let d = sha256(b"x");
+        let h = digest_hex(&d);
+        assert_eq!(h.len(), 64);
+        assert!(h.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

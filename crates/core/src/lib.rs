@@ -25,10 +25,12 @@
 #![warn(missing_docs)]
 
 pub mod coverage;
+pub mod digest;
 pub mod directory;
 pub mod pipeline;
 
 pub use coverage::{CoverageReport, OpinionCounts};
+pub use digest::{digest_hex, outcome_digest};
 pub use directory::{category_map, directory_entries, listings};
 pub use pipeline::{PipelineConfig, PipelineOutcome, RspPipeline};
 

@@ -24,17 +24,18 @@ use orsp_inference::{
 use orsp_inference::predictor::PredictorConfig;
 use orsp_sensors::{render_user_trace, EnergyModel, SamplingPolicy};
 use orsp_server::{
-    AggregatePublisher, CategoryProfile, EntityAggregate, FraudDetector, IngestService,
-    ProfileBuilder,
+    deterministic_ingest, AggregatePublisher, CategoryProfile, EntityAggregate, FraudDetector,
+    IngestService, ProfileBuilder,
 };
-use orsp_types::rng::rng_for;
+use orsp_types::rng::{rng_for, rng_for_indexed};
 use orsp_types::{
     Category, DeviceId, EntityId, GeoPoint, Interaction, InteractionHistory, Rating, RecordId,
     SimDuration, StarHistogram, Timestamp, UserId,
 };
 use orsp_world::World;
 use rand::Rng;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::{Arc, Mutex};
 
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
@@ -71,6 +72,11 @@ pub struct PipelineConfig {
     /// Train one predictor per entity group (restaurant / doctor / trade)
     /// instead of a single global model, where labels allow.
     pub per_category_models: bool,
+    /// Worker threads for the client, ingest, and feature stages
+    /// (0 = one per available core). Results are bit-for-bit identical at
+    /// any setting: every user draws from their own derived RNG stream
+    /// and all cross-thread merges happen in user/delivery order.
+    pub threads: usize,
 }
 
 impl Default for PipelineConfig {
@@ -90,6 +96,7 @@ impl Default for PipelineConfig {
             adoption_rate: 1.0,
             use_wearables: false,
             per_category_models: false,
+            threads: 0,
         }
     }
 }
@@ -167,59 +174,91 @@ struct UserView {
     hr_samples: Vec<orsp_sensors::HrSample>,
 }
 
+/// Everything one user's client-stage pass produces, merged on the main
+/// thread in user order so the outcome is independent of thread count.
+struct ClientOutput {
+    view: UserView,
+    /// (release time, mixed upload) — extends `in_flight`.
+    uploads: Vec<(Timestamp, AnonymousUpload)>,
+    /// (record id, owner) ground truth — extends `record_owner`.
+    owners: Vec<(RecordId, (UserId, EntityId))>,
+    /// Network-entry observations — replayed into the observer in order.
+    entries: Vec<(DeviceId, Timestamp)>,
+}
+
 impl RspPipeline {
     /// A pipeline with the given configuration.
     pub fn new(config: PipelineConfig) -> Self {
         RspPipeline { config }
     }
 
+    /// The resolved worker count (config, or one per core for 0).
+    fn threads(&self) -> usize {
+        if self.config.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.config.threads
+        }
+    }
+
     /// Run the full architecture over a world.
+    ///
+    /// Multi-core but deterministic: the mint keypair is generated first
+    /// from the master stream, each user's client stage draws only from
+    /// `rng_for_indexed(seed, "client", user)` (adoption gate, install
+    /// secret, upload deferrals, channel salt), and per-user results are
+    /// merged in user order regardless of which worker produced them.
     pub fn run(&self, world: &World) -> PipelineOutcome {
         let cfg = &self.config;
+        let threads = self.threads();
         let mut rng = rng_for(world.config.seed, "pipeline");
-        let mut mint = TokenMint::new(
+        let mint = TokenMint::new(
             &mut rng,
             cfg.modulus_bits,
             cfg.tokens_per_window,
             cfg.token_window,
         );
-        let mapper = EntityMapper::new(directory_entries(world));
+        let mint_public = mint.public_key().clone();
+        let mapper = Arc::new(EntityMapper::new(directory_entries(world)));
         let end = Timestamp::EPOCH + world.config.horizon;
 
-        // ---- Client stage: per-device processing. --------------------
-        let mut observer = NetworkObserver::new();
-        let mut record_owner: HashMap<RecordId, (UserId, EntityId)> = HashMap::new();
-        let mut in_flight: Vec<(Timestamp, AnonymousUpload)> = Vec::new();
-        let mut user_views: Vec<UserView> = Vec::with_capacity(world.users.len());
+        // ---- Client stage: per-device processing, in parallel. -------
+        // Rate-limit accounting goes through the shared mint (per-device,
+        // so timing-independent); RSA signing runs outside its lock.
+        let shared_mint = Mutex::new(mint);
         let energy_model = EnergyModel::default();
-
-        for user in &world.users {
+        let run_user = |user: &orsp_world::User| -> Option<ClientOutput> {
+            let mut rng = rng_for_indexed(world.config.seed, "client", user.id.raw());
             // Adoption gate: non-adopters never install the client. Their
             // explicit reviews still flow through the review channel.
             if cfg.adoption_rate < 1.0 && rng.gen::<f64>() >= cfg.adoption_rate {
-                continue;
+                return None;
             }
             let device = DeviceId::new(user.id.raw());
             let trace = render_user_trace(world, user.id, cfg.policy, &energy_model);
             let mut client =
-                RspClient::install(&mut rng, device, mapper.clone(), cfg.client);
-            let mut wallet = TokenWallet::new(device, mint.public_key().clone());
+                RspClient::install(&mut rng, device, Arc::clone(&mapper), cfg.client);
+            let mut wallet = TokenWallet::new(device, mint_public.clone());
 
             let inferred = client.infer_interactions(&trace);
             let home_estimate = estimate_home(&trace, &mapper, cfg.client.sessionizer)
                 .unwrap_or(GeoPoint::ORIGIN);
-            client.submit_streaming(&mut rng, &inferred, &mut wallet, &mut mint, end);
+            let mut issuer = &shared_mint;
+            client.submit_streaming(&mut rng, &inferred, &mut wallet, &mut issuer, end);
 
             // Device-specific channel salt (the on-device secret the
             // unlinkable scheme keys on).
             let mut salt = [0u8; 32];
             rng.fill(&mut salt);
+            let mut uploads = Vec::new();
+            let mut owners = Vec::new();
+            let mut entries = Vec::new();
             for request in client.drain_uploads() {
                 let channel =
                     cfg.linkage_scheme.channel_id(device, &salt, request.entity);
-                observer.observe_entry(device, request.release_at);
-                record_owner.insert(request.record_id, (user.id, request.entity));
-                in_flight.push((
+                entries.push((device, request.release_at));
+                owners.push((request.record_id, (user.id, request.entity)));
+                uploads.push((
                     request.release_at,
                     AnonymousUpload {
                         channel,
@@ -233,46 +272,71 @@ impl RspPipeline {
             } else {
                 Vec::new()
             };
-            user_views.push(UserView {
-                user: user.id,
-                home_estimate,
-                interactions: inferred,
-                hr_samples,
-            });
+            Some(ClientOutput {
+                view: UserView {
+                    user: user.id,
+                    home_estimate,
+                    interactions: inferred,
+                    hr_samples,
+                },
+                uploads,
+                owners,
+                entries,
+            })
+        };
+        let outputs: Vec<Option<ClientOutput>> =
+            map_chunked(&world.users, threads, &run_user);
+        let mut mint =
+            shared_mint.into_inner().unwrap_or_else(|e| e.into_inner());
+
+        // Deterministic merge: user order, independent of worker timing.
+        let mut observer = NetworkObserver::new();
+        let mut record_owner: HashMap<RecordId, (UserId, EntityId)> = HashMap::new();
+        let mut in_flight: Vec<(Timestamp, AnonymousUpload)> = Vec::new();
+        let mut user_views: Vec<UserView> = Vec::with_capacity(world.users.len());
+        for output in outputs.into_iter().flatten() {
+            for (device, at) in output.entries {
+                observer.observe_entry(device, at);
+            }
+            record_owner.extend(output.owners);
+            in_flight.extend(output.uploads);
+            user_views.push(output.view);
         }
 
-        // ---- Network + ingest stage: the batch mix in time order. ----
-        let mut ingest = IngestService::new();
+        // ---- Network stage: the batch mix in time order. -------------
         in_flight.sort_by_key(|(t, u)| (*t, u.request.entity.raw()));
         let mut mix = BatchMix::new(cfg.mix, world.config.seed);
-        let deliver =
-            |batch: Vec<AnonymousUpload>,
-             at: Timestamp,
-             ingest: &mut IngestService,
-             observer: &mut NetworkObserver,
-             mint: &mut TokenMint| {
-                for upload in batch {
-                    let truth_device = record_owner
-                        .get(&upload.request.record_id)
-                        .map(|(u, _)| DeviceId::new(u.raw()))
-                        .unwrap_or(DeviceId::new(u64::MAX));
-                    observer.observe_exit(
-                        upload.request.record_id,
-                        upload.channel,
-                        at,
-                        truth_device,
-                    );
-                    let _ = ingest.ingest(&upload.request, mint, at);
-                }
-            };
+        let mut deliveries: Vec<(Timestamp, orsp_client::UploadRequest)> =
+            Vec::with_capacity(in_flight.len());
+        let deliver = |batch: Vec<AnonymousUpload>,
+                           at: Timestamp,
+                           deliveries: &mut Vec<(Timestamp, orsp_client::UploadRequest)>,
+                           observer: &mut NetworkObserver| {
+            for upload in batch {
+                let truth_device = record_owner
+                    .get(&upload.request.record_id)
+                    .map(|(u, _)| DeviceId::new(u.raw()))
+                    .unwrap_or(DeviceId::new(u64::MAX));
+                observer.observe_exit(
+                    upload.request.record_id,
+                    upload.channel,
+                    at,
+                    truth_device,
+                );
+                deliveries.push((at, upload.request));
+            }
+        };
         for (t, upload) in in_flight {
             mix.submit(upload, t);
             for batch in mix.tick(t) {
-                deliver(batch, t, &mut ingest, &mut observer, &mut mint);
+                deliver(batch, t, &mut deliveries, &mut observer);
             }
         }
         let rest = mix.drain();
-        deliver(rest, end, &mut ingest, &mut observer, &mut mint);
+        deliver(rest, end, &mut deliveries, &mut observer);
+
+        // ---- Ingest stage: sharded, parallel, order-preserving. ------
+        let mut ingest = deterministic_ingest(&deliveries, &mut mint, threads);
         let uploads_delivered = ingest.stats().accepted;
 
         // ---- Server analytics: profiles and fraud. --------------------
@@ -366,11 +430,15 @@ impl RspPipeline {
         let labels: HashMap<(UserId, EntityId), Rating> =
             world.reviews.iter().map(|r| ((r.user, r.entity), r.rating)).collect();
 
-        // Assemble features per pair.
-        let mut pairs: Vec<PairExample> = Vec::new();
-        for view in user_views {
+        // Assemble features per pair — one independent task per user view,
+        // fanned out across the worker pool. Entity groups iterate in
+        // sorted order (BTreeMap) so the pair sequence — and with it the
+        // float-accumulation order of everything trained on it — is a pure
+        // function of the content, not of hash seeds or thread timing.
+        let assemble_view = |view: &UserView| -> Vec<PairExample> {
+            let mut out: Vec<PairExample> = Vec::new();
             // Group interactions per entity (already chronological).
-            let mut per_entity: HashMap<EntityId, Vec<Interaction>> = HashMap::new();
+            let mut per_entity: BTreeMap<EntityId, Vec<Interaction>> = BTreeMap::new();
             for (entity, interaction) in &view.interactions {
                 per_entity.entry(*entity).or_default().push(*interaction);
             }
@@ -383,17 +451,23 @@ impl RspPipeline {
                     e.1 += ints.len(); // interactions
                 }
             }
+            // Choice-set sizes, memoized per view: every pair of this view
+            // shares one home estimate, so the spatial query runs once and
+            // the per-category counts are reused — previously this
+            // re-scanned the grid for every (user, entity) pair.
+            let mut near_by_category: HashMap<Category, usize> = HashMap::new();
+            for e in
+                mapper.entities_near(&view.home_estimate, self.config.choice_set_radius_m)
+            {
+                if let Some(d) = mapper.entry(e) {
+                    *near_by_category.entry(d.category).or_default() += 1;
+                }
+            }
             for (&entity, ints) in &per_entity {
                 let Some(dir) = mapper.entry(entity) else { continue };
                 let (tried, cat_total) =
                     per_category.get(&dir.category).copied().unwrap_or((1, ints.len()));
-                let choice_set = mapper
-                    .entities_near(&view.home_estimate, self.config.choice_set_radius_m)
-                    .iter()
-                    .filter(|&&e| {
-                        mapper.entry(e).map(|d| d.category == dir.category).unwrap_or(false)
-                    })
-                    .count();
+                let choice_set = near_by_category.get(&dir.category).copied().unwrap_or(0);
                 // Wearable extension: mean HR delta over this pair's
                 // visit windows (0.0 when no wearable).
                 let mean_hr_delta = if view.hr_samples.is_empty() {
@@ -430,7 +504,7 @@ impl RspPipeline {
                     world.user(view.user).unwrap(),
                     world.entity(entity).unwrap(),
                 );
-                pairs.push(PairExample {
+                out.push(PairExample {
                     user: view.user,
                     entity,
                     category: dir.category,
@@ -440,7 +514,13 @@ impl RspPipeline {
                     label: labels.get(&(view.user, entity)).copied(),
                 });
             }
-        }
+            out
+        };
+        let pairs: Vec<PairExample> =
+            map_chunked(user_views, self.threads(), &assemble_view)
+                .into_iter()
+                .flatten()
+                .collect();
 
         // Train on reviewer-labelled pairs; hold out silent users.
         // Coarse group key for per-category stratification.
@@ -519,6 +599,36 @@ struct TestSets {
     predictor_examples: Vec<LabeledExample>,
     baseline_examples: Vec<LabeledExample>,
     baseline_matched: Vec<LabeledExample>,
+}
+
+/// Map `f` over `items` across up to `threads` workers, preserving input
+/// order: each worker takes one contiguous chunk and the chunk results
+/// are concatenated in chunk order, so the output is element-for-element
+/// what a sequential `items.iter().map(f)` would produce — the invariant
+/// every parallel stage of the pipeline relies on for determinism.
+fn map_chunked<T, U, F>(items: &[T], threads: usize, f: &F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads).max(1);
+    let mut out: Vec<U> = Vec::with_capacity(items.len());
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|slice| scope.spawn(move |_| slice.iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("pipeline worker panicked"));
+        }
+    })
+    .expect("pipeline worker panicked");
+    out
 }
 
 /// Estimate the device's home: the entity-less dwell cluster with the

@@ -51,4 +51,4 @@ pub use blind::{BlindSignature, BlindedMessage, BlindingSession};
 pub use record::{derive_record_id, DeviceSecret};
 pub use rsa::{RsaKeyPair, RsaPublicKey};
 pub use sha256::{sha256, Sha256};
-pub use token::{SpendOutcome, Token, TokenMint, TokenWallet};
+pub use token::{SpendOutcome, Token, TokenIssuer, TokenMint, TokenWallet};

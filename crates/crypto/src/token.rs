@@ -13,6 +13,7 @@ use crate::sha256::sha256;
 use orsp_types::{DeviceId, OrspError, SimDuration, Timestamp};
 use rand::Rng;
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// A spendable token: a random message and the mint's unblinded signature
 /// on its digest.
@@ -43,10 +44,31 @@ pub enum SpendOutcome {
     DoubleSpend,
 }
 
+/// Anything a wallet can request blind signatures from.
+///
+/// The two implementations split the issuance path for concurrency: the
+/// mutable-accounting half (per-device rate limits) is cheap and sits
+/// under a lock when shared, while the expensive half — the RSA blind
+/// signature — is a pure function of the keypair and can run outside any
+/// lock. [`TokenMint`] itself implements the trait for single-threaded
+/// callers; `&Mutex<TokenMint>` implements it for worker pools, holding
+/// the lock only for the accounting.
+pub trait TokenIssuer {
+    /// Sign a blinded message for `device` at time `now`, enforcing the
+    /// per-device rate limit.
+    fn issue(
+        &mut self,
+        device: DeviceId,
+        blinded: &BlindedMessage,
+        now: Timestamp,
+    ) -> orsp_types::Result<crate::blind::BlindSignature>;
+}
+
 /// The RSP's token mint: issues blind signatures at a limited rate per
 /// device, and maintains the redemption ledger.
 pub struct TokenMint {
-    keypair: RsaKeyPair,
+    /// Shared so concurrent issuers can sign outside the mint's lock.
+    keypair: Arc<RsaKeyPair>,
     /// Tokens each device may obtain per rate window.
     tokens_per_window: u32,
     window: SimDuration,
@@ -66,7 +88,7 @@ impl TokenMint {
         window: SimDuration,
     ) -> Self {
         TokenMint {
-            keypair: RsaKeyPair::generate(rng, modulus_bits),
+            keypair: Arc::new(RsaKeyPair::generate(rng, modulus_bits)),
             tokens_per_window,
             window,
             issuance: HashMap::new(),
@@ -90,15 +112,12 @@ impl TokenMint {
         self.spent.len()
     }
 
-    /// A device asks the mint to sign a blinded message at time `now`.
-    /// Enforces the per-device rate limit; the mint cannot see what it is
-    /// signing (that is the point).
-    pub fn issue(
-        &mut self,
-        device: DeviceId,
-        blinded: &BlindedMessage,
-        now: Timestamp,
-    ) -> orsp_types::Result<crate::blind::BlindSignature> {
+    /// Account for one issuance to `device` at time `now`: roll the rate
+    /// window forward and reject when the per-device budget is spent. On
+    /// `Ok` the caller is entitled to exactly one blind signature. Split
+    /// out from [`Self::issue`] so a shared mint can do this bookkeeping
+    /// under a lock and sign outside it.
+    pub fn authorize(&mut self, device: DeviceId, now: Timestamp) -> orsp_types::Result<()> {
         let entry = self.issuance.entry(device).or_insert((now, 0));
         if now - entry.0 >= self.window {
             *entry = (now, 0);
@@ -111,13 +130,46 @@ impl TokenMint {
         }
         entry.1 += 1;
         self.issued_total += 1;
+        Ok(())
+    }
+
+    /// A shared handle to the signing keypair, for issuers that sign
+    /// outside the mint's lock. Signing is deterministic, so concurrent
+    /// use cannot diverge.
+    pub fn keypair_handle(&self) -> Arc<RsaKeyPair> {
+        Arc::clone(&self.keypair)
+    }
+
+    /// A device asks the mint to sign a blinded message at time `now`.
+    /// Enforces the per-device rate limit; the mint cannot see what it is
+    /// signing (that is the point).
+    pub fn issue(
+        &mut self,
+        device: DeviceId,
+        blinded: &BlindedMessage,
+        now: Timestamp,
+    ) -> orsp_types::Result<crate::blind::BlindSignature> {
+        self.authorize(device, now)?;
         Ok(sign_blinded(&self.keypair, blinded))
     }
 
     /// Redeem a token at time `now`: verify the signature, then check and
     /// update the double-spend ledger.
     pub fn redeem(&mut self, token: &Token, now: Timestamp) -> SpendOutcome {
-        if !verify_unblinded(&self.keypair.public, &token.message, &token.signature) {
+        let valid = verify_unblinded(&self.keypair.public, &token.message, &token.signature);
+        self.redeem_preverified(token, now, valid)
+    }
+
+    /// Ledger half of redemption, for callers that verified the RSA
+    /// signature out-of-band (e.g. a parallel pre-verification pass over
+    /// a whole batch): trusts `signature_valid` instead of re-verifying.
+    pub fn redeem_preverified(
+        &mut self,
+        token: &Token,
+        now: Timestamp,
+        signature_valid: bool,
+    ) -> SpendOutcome {
+        if !signature_valid {
             return SpendOutcome::Invalid;
         }
         let key = token.ledger_key();
@@ -126,6 +178,38 @@ impl TokenMint {
         }
         self.spent.insert(key, now);
         SpendOutcome::Accepted
+    }
+}
+
+impl TokenIssuer for TokenMint {
+    fn issue(
+        &mut self,
+        device: DeviceId,
+        blinded: &BlindedMessage,
+        now: Timestamp,
+    ) -> orsp_types::Result<crate::blind::BlindSignature> {
+        TokenMint::issue(self, device, blinded, now)
+    }
+}
+
+/// Concurrent issuance against a shared mint: the rate-limit accounting
+/// runs under the lock, the RSA signing outside it. Outcomes are
+/// independent of inter-thread timing — rate limits are per-device (each
+/// device talks to the mint from one worker) and signing is a pure
+/// deterministic function.
+impl TokenIssuer for &Mutex<TokenMint> {
+    fn issue(
+        &mut self,
+        device: DeviceId,
+        blinded: &BlindedMessage,
+        now: Timestamp,
+    ) -> orsp_types::Result<crate::blind::BlindSignature> {
+        let keypair = {
+            let mut mint = self.lock().unwrap_or_else(|e| e.into_inner());
+            mint.authorize(device, now)?;
+            mint.keypair_handle()
+        };
+        Ok(sign_blinded(&keypair, blinded))
     }
 }
 
@@ -155,10 +239,10 @@ impl TokenWallet {
 
     /// Request one token from the mint at time `now`. On success the wallet
     /// holds one more token.
-    pub fn request_token<R: Rng + ?Sized>(
+    pub fn request_token<R: Rng + ?Sized, M: TokenIssuer>(
         &mut self,
         rng: &mut R,
-        mint: &mut TokenMint,
+        mint: &mut M,
         now: Timestamp,
     ) -> orsp_types::Result<()> {
         let mut message = [0u8; 32];
@@ -177,10 +261,10 @@ impl TokenWallet {
 
     /// Top the wallet up to `target` tokens, stopping early if the mint
     /// rate-limits us. Returns how many tokens were acquired.
-    pub fn top_up<R: Rng + ?Sized>(
+    pub fn top_up<R: Rng + ?Sized, M: TokenIssuer>(
         &mut self,
         rng: &mut R,
-        mint: &mut TokenMint,
+        mint: &mut M,
         now: Timestamp,
         target: usize,
     ) -> usize {
@@ -267,6 +351,93 @@ mod tests {
         assert_eq!(got, 3);
         assert_eq!(wallet.balance(), 3);
         assert_eq!(mint.issued_total(), 3);
+    }
+
+    #[test]
+    fn shared_mint_issues_across_threads() {
+        // Four workers, one device each, issuing against the same mint
+        // through the &Mutex<TokenMint> issuer: every token verifies, the
+        // ledger catches every token exactly once, and the issuance count
+        // is exact regardless of interleaving.
+        let mut rng = StdRng::seed_from_u64(8);
+        let mint = TokenMint::new(&mut rng, 256, 10, SimDuration::DAY);
+        let public = mint.public_key().clone();
+        let shared = Mutex::new(mint);
+        let tokens: Vec<Token> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4u64)
+                .map(|w| {
+                    let public = public.clone();
+                    let shared = &shared;
+                    s.spawn(move || {
+                        let mut rng = StdRng::seed_from_u64(100 + w);
+                        let mut wallet = TokenWallet::new(DeviceId::new(w), public);
+                        let mut issuer = shared;
+                        for _ in 0..5 {
+                            wallet.request_token(&mut rng, &mut issuer, Timestamp::EPOCH).unwrap();
+                        }
+                        wallet.tokens
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        let mut mint = shared.into_inner().unwrap();
+        assert_eq!(mint.issued_total(), 20);
+        assert_eq!(tokens.len(), 20);
+        for t in &tokens {
+            assert_eq!(mint.redeem(t, Timestamp::EPOCH), SpendOutcome::Accepted);
+        }
+        assert_eq!(mint.spent_total(), 20);
+    }
+
+    #[test]
+    fn shared_mint_enforces_rate_limit_under_contention() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mint = TokenMint::new(&mut rng, 256, 3, SimDuration::DAY);
+        let public = mint.public_key().clone();
+        let shared = Mutex::new(mint);
+        // One device hammered from two workers: exactly 3 tokens total.
+        let got: usize = std::thread::scope(|s| {
+            (0..2u64)
+                .map(|w| {
+                    let public = public.clone();
+                    let shared = &shared;
+                    s.spawn(move || {
+                        let mut rng = StdRng::seed_from_u64(200 + w);
+                        let mut wallet = TokenWallet::new(DeviceId::new(7), public);
+                        let mut issuer = shared;
+                        wallet.top_up(&mut rng, &mut issuer, Timestamp::EPOCH, 10)
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(got, 3);
+        assert_eq!(shared.into_inner().unwrap().issued_total(), 3);
+    }
+
+    #[test]
+    fn preverified_redeem_matches_redeem() {
+        let (mut mint, mut wallet, mut rng) = setup(10, 10);
+        wallet.request_token(&mut rng, &mut mint, Timestamp::EPOCH).unwrap();
+        let token = wallet.take_token().unwrap();
+        // Trusted verdict path agrees with the verifying path.
+        assert_eq!(
+            mint.redeem_preverified(&token, Timestamp::EPOCH, true),
+            SpendOutcome::Accepted
+        );
+        assert_eq!(
+            mint.redeem_preverified(&token, Timestamp::EPOCH, true),
+            SpendOutcome::DoubleSpend
+        );
+        let forged = Token { message: [3u8; 32], signature: BigUint::from_u64(5) };
+        assert_eq!(
+            mint.redeem_preverified(&forged, Timestamp::EPOCH, false),
+            SpendOutcome::Invalid
+        );
+        assert_eq!(mint.spent_total(), 1, "invalid tokens never touch the ledger");
     }
 
     #[test]

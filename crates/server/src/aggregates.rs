@@ -67,7 +67,12 @@ impl AggregatePublisher {
         let mut dwell_sum = 0.0;
         let mut dwell_n = 0usize;
         let mut repeats = 0usize;
-        for (_, stored) in store.histories_for_entity(entity) {
+        // Fix the iteration order before accumulating floats: the store's
+        // map iterates in arbitrary order, and float addition is not
+        // associative — mean_dwell_min must not depend on hash seeds.
+        let mut histories: Vec<_> = store.histories_for_entity(entity).collect();
+        histories.sort_by_key(|(rid, _)| **rid);
+        for (_, stored) in histories {
             let n = stored.history.len();
             agg.histories += 1;
             agg.interactions += n;

@@ -77,6 +77,13 @@ impl IngestService {
         IngestService { store: HistoryStore::new(), stats: IngestStats::default() }
     }
 
+    /// Assemble a service from an already-populated store and its
+    /// counters — how [`crate::deterministic_ingest`] hands back the
+    /// result of a multi-threaded admission run.
+    pub fn from_parts(store: HistoryStore, stats: IngestStats) -> Self {
+        IngestService { store, stats }
+    }
+
     /// Process one upload at time `now`. The mint is consulted for token
     /// redemption (it owns the spend ledger).
     pub fn ingest(

@@ -8,13 +8,24 @@
 //! shards provide with one lock each (record ids are uniformly
 //! distributed, so contention is negligible).
 
+use crate::ingest::{IngestService, IngestStats};
 use crate::store::{HistoryStore, StoredHistory};
 use orsp_client::UploadRequest;
 use orsp_crypto::blind::verify_unblinded;
-use orsp_crypto::RsaPublicKey;
-use orsp_types::RecordId;
+use orsp_crypto::{RsaPublicKey, SpendOutcome, TokenMint};
+use orsp_types::{RecordId, Timestamp};
 use parking_lot::Mutex;
 use std::collections::HashSet;
+
+/// Map a 32-byte key to one of `n` shards using its first 8 bytes as a
+/// little-endian word. Keys here are hash outputs (record ids, token
+/// ledger keys), so this is uniform. Shared by the store and the spend
+/// ledger so both keyspaces spread across all shards, not just the first
+/// 256 buckets.
+pub fn shard_index(bytes: &[u8; 32], n: usize) -> usize {
+    let b = bytes;
+    (u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]) as usize) % n.max(1)
+}
 
 /// A history store split into independently locked shards.
 pub struct ShardedStore {
@@ -30,9 +41,7 @@ impl ShardedStore {
 
     /// Which shard owns a record id (uniform, since ids are hash outputs).
     fn shard_of(&self, record_id: &RecordId) -> usize {
-        let b = record_id.as_bytes();
-        (u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]) as usize)
-            % self.shards.len()
+        shard_index(record_id.as_bytes(), self.shards.len())
     }
 
     /// Append one interaction (locks only the owning shard).
@@ -131,7 +140,7 @@ pub fn parallel_ingest(
                         continue;
                     }
                     let key = upload.token.ledger_key();
-                    let shard = (key[0] as usize) % ledger_shards.len();
+                    let shard = shard_index(&key, ledger_shards.len());
                     if !ledger_shards[shard].lock().insert(key) {
                         double_spend.fetch_add(1, Relaxed);
                         continue;
@@ -156,6 +165,102 @@ pub fn parallel_ingest(
         double_spend: double_spend.into_inner(),
         store_rejected: store_rejected.into_inner(),
     }
+}
+
+/// Multi-core ingest with bit-for-bit deterministic results: admit the
+/// deliveries exactly as a sequential [`IngestService::ingest`] loop
+/// would, but spread the CPU-heavy work across `threads` workers.
+///
+/// Three phases:
+///
+/// 1. **Verify** (parallel): RSA signature checks — pure functions of the
+///    public key, order-free.
+/// 2. **Redeem** (sequential): walk the deliveries in order, feeding each
+///    pre-computed verdict to the mint's ledger. The spend ledger is the
+///    one truly order-dependent piece of state (first presentation wins),
+///    so it runs single-threaded over a decided order.
+/// 3. **Append** (parallel): store appends partitioned by record shard —
+///    every record id maps to exactly one worker, so each history sees
+///    its uploads in delivery order and no two workers touch one shard.
+///
+/// Every counter is either computed in phase 2 or is an order-independent
+/// sum, so the returned service is identical for any thread count.
+pub fn deterministic_ingest(
+    deliveries: &[(Timestamp, UploadRequest)],
+    mint: &mut TokenMint,
+    threads: usize,
+) -> IngestService {
+    let threads = threads.max(1);
+    let mut stats = IngestStats::default();
+
+    // Phase 1: parallel signature verification.
+    let key = mint.public_key().clone();
+    let mut valid = vec![false; deliveries.len()];
+    let chunk = deliveries.len().div_ceil(threads).max(1);
+    crossbeam::scope(|scope| {
+        for (slice, out) in deliveries.chunks(chunk).zip(valid.chunks_mut(chunk)) {
+            let key = &key;
+            scope.spawn(move |_| {
+                for ((_, u), v) in slice.iter().zip(out.iter_mut()) {
+                    *v = verify_unblinded(key, &u.token.message, &u.token.signature);
+                }
+            });
+        }
+    })
+    .expect("verify worker panicked");
+
+    // Phase 2: sequential ledger pass in delivery order.
+    let mut admitted: Vec<usize> = Vec::with_capacity(deliveries.len());
+    for (i, (at, upload)) in deliveries.iter().enumerate() {
+        match mint.redeem_preverified(&upload.token, *at, valid[i]) {
+            SpendOutcome::Invalid => stats.bad_token += 1,
+            SpendOutcome::DoubleSpend => stats.double_spend += 1,
+            SpendOutcome::Accepted => admitted.push(i),
+        }
+    }
+
+    // Phase 3: parallel appends, one worker per residue class of shards.
+    let workers = threads.min(admitted.len().max(1));
+    let shards = workers * 8;
+    let store = ShardedStore::new(shards);
+    let mut accepted = 0u64;
+    let mut bad_record = 0u64;
+    let mut entity_mismatch = 0u64;
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let (store, admitted) = (&store, &admitted);
+                scope.spawn(move |_| {
+                    let (mut acc, mut bad, mut mism) = (0u64, 0u64, 0u64);
+                    for &i in admitted {
+                        let upload = &deliveries[i].1;
+                        if shard_index(upload.record_id.as_bytes(), shards) % workers != w {
+                            continue;
+                        }
+                        match store.append(upload.record_id, upload.entity, upload.interaction)
+                        {
+                            Ok(()) => acc += 1,
+                            Err(orsp_types::OrspError::UploadRejected(_)) => mism += 1,
+                            Err(_) => bad += 1,
+                        }
+                    }
+                    (acc, bad, mism)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (acc, bad, mism) = h.join().expect("append worker panicked");
+            accepted += acc;
+            bad_record += bad;
+            entity_mismatch += mism;
+        }
+    })
+    .expect("append worker panicked");
+    stats.accepted = accepted;
+    stats.bad_record = bad_record;
+    stats.entity_mismatch = entity_mismatch;
+
+    IngestService::from_parts(store.into_merged(), stats)
 }
 
 #[cfg(test)]
@@ -256,5 +361,119 @@ mod tests {
         let stats = parallel_ingest(&ups, &key, &store, 1);
         assert_eq!(stats.accepted, 10);
         assert_eq!(store.shard_count(), 1);
+    }
+
+    /// A mixed batch for the deterministic-ingest tests: valid uploads,
+    /// forged tokens, and replays, with the mint returned for redemption.
+    fn mixed_deliveries(seed: u64) -> (Vec<(Timestamp, UploadRequest)>, TokenMint) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut mint = TokenMint::new(&mut rng, 256, u32::MAX, SimDuration::DAY);
+        let mut wallet = TokenWallet::new(DeviceId::new(1), mint.public_key().clone());
+        let mut out: Vec<(Timestamp, UploadRequest)> = Vec::new();
+        for i in 0..60usize {
+            wallet.request_token(&mut rng, &mut mint, Timestamp::EPOCH).unwrap();
+            let mut u = UploadRequest {
+                record_id: RecordId::from_bytes({
+                    let mut b = [0u8; 32];
+                    b[0] = (i % 23) as u8;
+                    b
+                }),
+                entity: EntityId::new((i % 23 % 7) as u64),
+                interaction: Interaction::solo(
+                    InteractionKind::Visit,
+                    Timestamp::from_seconds(i as i64 * 1_000),
+                    SimDuration::minutes(30),
+                    50.0,
+                ),
+                token: wallet.take_token().unwrap(),
+                release_at: Timestamp::from_seconds(i as i64),
+            };
+            if i % 11 == 10 {
+                u.token.signature = orsp_crypto::BigUint::from_u64(7); // forged
+            }
+            let t = Timestamp::from_seconds(i as i64);
+            if i % 13 == 12 {
+                out.push((t, u.clone())); // replay: second copy double-spends
+            }
+            out.push((t, u));
+        }
+        (out, mint)
+    }
+
+    /// The whole point: the admitted store and every counter must match a
+    /// plain sequential `IngestService::ingest` loop, at any thread count.
+    #[test]
+    fn deterministic_ingest_matches_sequential() {
+        let (deliveries, mut seq_mint) = mixed_deliveries(11);
+        let (_, par_mint) = mixed_deliveries(11);
+
+        let mut reference = IngestService::new();
+        for (at, u) in &deliveries {
+            let _ = reference.ingest(u, &mut seq_mint, *at);
+        }
+
+        for threads in [1, 2, 4, 8] {
+            let (_, mut mint) = mixed_deliveries(11);
+            let svc = deterministic_ingest(&deliveries, &mut mint, threads);
+            assert_eq!(svc.stats(), reference.stats(), "stats diverge at {threads} threads");
+            assert_eq!(svc.store().len(), reference.store().len());
+            assert_eq!(svc.store().total_interactions(), reference.store().total_interactions());
+            // Record-level equality, not just counts.
+            for (rid, stored) in reference.store().iter() {
+                let got = svc
+                    .store()
+                    .iter()
+                    .find(|(r, _)| *r == rid)
+                    .map(|(_, s)| s)
+                    .expect("record present");
+                assert_eq!(got.entity, stored.entity);
+                assert_eq!(got.history.len(), stored.history.len());
+            }
+            assert_eq!(mint.spent_total(), seq_mint.spent_total(), "ledger diverges");
+        }
+        let _ = par_mint.issued_total();
+    }
+
+    #[test]
+    fn deterministic_ingest_spends_tokens_once() {
+        let (deliveries, _) = mixed_deliveries(12);
+        let (_, mut mint) = mixed_deliveries(12);
+        let svc = deterministic_ingest(&deliveries, &mut mint, 4);
+        // Every valid token hit the ledger exactly once; replays were
+        // rejected, forgeries never touched it.
+        let valid = deliveries
+            .iter()
+            .filter(|(_, u)| {
+                verify_unblinded(mint.public_key(), &u.token.message, &u.token.signature)
+            })
+            .map(|(_, u)| u.token.ledger_key())
+            .collect::<HashSet<_>>();
+        assert_eq!(mint.spent_total(), valid.len());
+        assert!(svc.stats().double_spend > 0, "test batch contains replays");
+        assert!(svc.stats().bad_token > 0, "test batch contains forgeries");
+    }
+
+    proptest::proptest! {
+        /// The shard map must stay in bounds and be a stable pure
+        /// function — the parallel partitioning depends on both.
+        #[test]
+        fn shard_index_in_bounds_and_stable(
+            bytes in proptest::collection::vec(0u8..=255, 32..33),
+            n in 1usize..64,
+        ) {
+            let mut key = [0u8; 32];
+            key.copy_from_slice(&bytes);
+            let s = shard_index(&key, n);
+            proptest::prop_assert!(s < n);
+            proptest::prop_assert_eq!(s, shard_index(&key, n));
+        }
+
+        /// n = 0 is clamped rather than panicking.
+        #[test]
+        fn shard_index_survives_zero_shards(b0 in 0u8..=255) {
+            let mut key = [0u8; 32];
+            key[0] = b0;
+            proptest::prop_assert_eq!(shard_index(&key, 0), 0);
+        }
     }
 }

@@ -81,7 +81,7 @@ fn main() {
     use orsp_types::Timestamp;
     let mut rng = rng_for(1, "audit");
     let mut mint = TokenMint::new(&mut rng, 256, 1_000, SimDuration::DAY);
-    let mapper = EntityMapper::new(directory_entries(&world));
+    let mapper = std::sync::Arc::new(EntityMapper::new(directory_entries(&world)));
     let user = world.users[0].id;
     let trace = render_user_trace(&world, user, SamplingPolicy::accel_gated(), &EnergyModel::default());
     let mut client = RspClient::install(

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Tier-1 verification: everything a reviewer needs to trust a change.
+# Runs fully offline; mirrors what CI would run.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --workspace --release
+
+echo "== cargo test -q =="
+cargo test -q --workspace
+
+# Formatting is advisory: rustfmt may be absent in minimal toolchains.
+if command -v rustfmt >/dev/null 2>&1; then
+    echo "== cargo fmt --check =="
+    cargo fmt --all --check || echo "WARNING: formatting drift (non-fatal)"
+else
+    echo "== cargo fmt --check skipped (rustfmt not installed) =="
+fi
+
+echo "== verify OK =="

@@ -1,0 +1,242 @@
+//! Offline shim for the `criterion` API surface this workspace uses.
+//!
+//! Implements `Criterion::bench_function` / `benchmark_group` /
+//! `bench_with_input`, `Bencher::iter`, `BenchmarkId::from_parameter`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//! Timing is a simple calibrated loop: each bench runs a short warm-up,
+//! then a handful of timed samples, and reports the median
+//! per-iteration time to stdout. No statistics engine, no HTML reports —
+//! enough to run `cargo bench` offline and compare runs by eye.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, as `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+const WARMUP: Duration = Duration::from_millis(200);
+const SAMPLES: usize = 11;
+const SAMPLE_BUDGET: Duration = Duration::from_millis(120);
+
+/// Set when the binary runs under `cargo test` (cargo passes `--test` to
+/// `harness = false` targets): each routine then runs once, untimed, so
+/// benches double as smoke tests.
+static QUICK_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Inspect CLI args and enable quick mode when run as a test.
+pub fn configure_from_args() {
+    if std::env::args().any(|a| a == "--test") {
+        QUICK_MODE.store(true, Ordering::Relaxed);
+    }
+}
+
+/// The bench driver handed to each registered function.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.to_string() }
+    }
+}
+
+/// A named group of benchmarks (`criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Run one parameterised benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.parameter);
+        run_bench(&label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Finish the group (report flushing is per-bench, so a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Identifier for one parameterised benchmark.
+pub struct BenchmarkId {
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Identify the bench by its parameter value alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { parameter: parameter.to_string() }
+    }
+}
+
+/// Per-bench timing harness (`criterion::Bencher`).
+pub struct Bencher {
+    mode: Mode,
+    /// Median nanoseconds per iteration, filled after measurement.
+    result_ns: f64,
+}
+
+enum Mode {
+    /// Calibration pass: find an iteration count that fills the budget.
+    Calibrate { iters_for_budget: u64 },
+    /// Timed pass: run exactly `iters` iterations.
+    Measure { iters: u64, elapsed: Duration },
+}
+
+impl Bencher {
+    /// Time the closure. Matches `criterion::Bencher::iter`.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        match &mut self.mode {
+            Mode::Calibrate { iters_for_budget } => {
+                // Double the count until one batch exceeds the sample budget.
+                let mut iters: u64 = 1;
+                loop {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        black_box(routine());
+                    }
+                    let took = start.elapsed();
+                    if took >= SAMPLE_BUDGET || iters >= 1 << 40 {
+                        *iters_for_budget = iters;
+                        break;
+                    }
+                    iters = iters.saturating_mul(2);
+                }
+            }
+            Mode::Measure { iters, elapsed } => {
+                let n = *iters;
+                let start = Instant::now();
+                for _ in 0..n {
+                    black_box(routine());
+                }
+                *elapsed = start.elapsed();
+            }
+        }
+    }
+}
+
+fn run_bench<F>(name: &str, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if QUICK_MODE.load(Ordering::Relaxed) {
+        let mut b =
+            Bencher { mode: Mode::Measure { iters: 1, elapsed: Duration::ZERO }, result_ns: 0.0 };
+        f(&mut b);
+        println!("{:<40} ok (test mode)", name);
+        return;
+    }
+
+    // Warm-up: run the routine until the warm-up window is spent.
+    let warm_start = Instant::now();
+    let mut calib = Bencher { mode: Mode::Calibrate { iters_for_budget: 1 }, result_ns: 0.0 };
+    f(&mut calib);
+    let iters = match calib.mode {
+        Mode::Calibrate { iters_for_budget } => iters_for_budget,
+        Mode::Measure { .. } => 1,
+    };
+    while warm_start.elapsed() < WARMUP {
+        let mut b = Bencher { mode: Mode::Measure { iters: 1, elapsed: Duration::ZERO }, result_ns: 0.0 };
+        f(&mut b);
+    }
+
+    // Timed samples.
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let mut b = Bencher { mode: Mode::Measure { iters, elapsed: Duration::ZERO }, result_ns: 0.0 };
+        f(&mut b);
+        if let Mode::Measure { iters, elapsed } = b.mode {
+            samples_ns.push(elapsed.as_nanos() as f64 / iters.max(1) as f64);
+        }
+        let _ = b.result_ns;
+    }
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = samples_ns[samples_ns.len() / 2];
+    println!("{:<40} time: [{}]", name, format_ns(median));
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{:.2} ns", ns)
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Collect bench functions under one group name, as `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running every group, as `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $crate::configure_from_args();
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        c.bench_function("smoke_add", |b| b.iter(|| black_box(2u64) + black_box(3u64)));
+    }
+
+    #[test]
+    fn group_runs_parameterised_bench() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke_group");
+        for n in [1u64, 2] {
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| black_box(n) * 2)
+            });
+        }
+        group.finish();
+    }
+}

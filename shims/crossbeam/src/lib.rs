@@ -1,0 +1,133 @@
+//! Offline shim for the `crossbeam` API surface this workspace uses:
+//! `crossbeam::scope` (scoped worker threads) and
+//! `crossbeam::channel::{bounded, unbounded}`, both mapped onto `std`.
+//!
+//! Semantics note: `scope` here always returns `Ok` — a panicking worker
+//! propagates through `std::thread::scope` as a panic rather than an
+//! `Err`, which is indistinguishable for the `.expect(..)` call sites in
+//! this repo.
+
+#![forbid(unsafe_code)]
+
+use std::thread;
+
+/// A scope handle mirroring `crossbeam::thread::Scope`.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a worker inside the scope. The closure receives the scope
+    /// (crossbeam signature) so workers can spawn workers.
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        self.inner.spawn(move || f(&scope))
+    }
+}
+
+/// Run `f` with a scope whose spawned threads all join before return.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+pub mod channel {
+    //! `crossbeam::channel` subset over `std::sync::mpsc`.
+
+    use std::sync::mpsc;
+
+    /// Sending half of a channel.
+    pub struct Sender<T>(Flavor<T>);
+
+    enum Flavor<T> {
+        Bounded(mpsc::SyncSender<T>),
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(match &self.0 {
+                Flavor::Bounded(s) => Flavor::Bounded(s.clone()),
+                Flavor::Unbounded(s) => Flavor::Unbounded(s.clone()),
+            })
+        }
+    }
+
+    /// Error returned when the receiving half is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> Sender<T> {
+        /// Send a message, blocking while a bounded channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                Flavor::Bounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+                Flavor::Unbounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+            }
+        }
+    }
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocking receive; `Err` when all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Iterate until every sender is dropped.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.iter()
+        }
+    }
+
+    /// Error returned when all senders are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// A channel that holds at most `cap` in-flight messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(Flavor::Bounded(tx)), Receiver(rx))
+    }
+
+    /// A channel without a capacity bound.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(Flavor::Unbounded(tx)), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_workers() {
+        let mut results = vec![0u64; 4];
+        super::scope(|s| {
+            for (i, slot) in results.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i as u64 + 1);
+            }
+        })
+        .unwrap();
+        assert_eq!(results, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bounded_channel_round_trip() {
+        let (tx, rx) = super::channel::bounded::<u32>(2);
+        let worker = std::thread::spawn(move || rx.iter().sum::<u32>());
+        for v in 1..=10 {
+            tx.send(v).unwrap();
+        }
+        drop(tx);
+        assert_eq!(worker.join().unwrap(), 55);
+    }
+}

@@ -1,0 +1,385 @@
+//! Offline shim for the `proptest` surface this workspace uses.
+//!
+//! A miniature property-testing harness: the `proptest!` macro runs each
+//! property over `CASES` deterministically derived random inputs (seeded
+//! from the test's module path, so every run and machine explores the
+//! same cases). No shrinking — a failing case prints its seed index and
+//! message and panics. Strategies supported: numeric ranges
+//! (`a..b`, `a..=b`, `a..`), `any::<T>()` for primitives,
+//! `proptest::num::f64::ANY` (full bit-pattern floats),
+//! `proptest::collection::vec(strategy, len_range)`, and tuples of
+//! strategies up to arity 4.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Cases per property. Upstream proptest defaults to 256; 64 keeps the
+/// heavier bignum properties fast while still exploring broadly.
+pub const CASES: u32 = 64;
+
+/// Sentinel error used by `prop_assume!` to skip a case.
+pub const ASSUME_SKIPPED: &str = "__proptest_shim_assume_skipped__";
+
+/// Deterministic per-(test, case) generator.
+pub fn case_rng(test_path: &str, case: u32) -> StdRng {
+    // FNV-1a over the test path, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in test_path.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case as u64 + 1)))
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+    /// Produce one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeFrom<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.start..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+
+impl_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategies!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+/// Types with a canonical "anything" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Produce an arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> f64 {
+        f64::from_bits(rng.gen())
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()`: the full domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy for vectors with lengths drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        min_len: usize,
+        max_len_exclusive: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = if self.min_len + 1 >= self.max_len_exclusive {
+                self.min_len
+            } else {
+                rng.gen_range(self.min_len..self.max_len_exclusive)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(strategy, len_range)`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, min_len: len.start, max_len_exclusive: len.end }
+    }
+
+    /// Inclusive-length variant.
+    pub fn vec_inclusive<S: Strategy>(
+        element: S,
+        len: core::ops::RangeInclusive<usize>,
+    ) -> VecStrategy<S> {
+        VecStrategy { element, min_len: *len.start(), max_len_exclusive: *len.end() + 1 }
+    }
+}
+
+pub mod num {
+    //! Numeric special strategies.
+
+    pub mod f64 {
+        //! `f64` strategies.
+        use crate::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Every bit pattern, including NaN and infinities.
+        pub struct AnyF64;
+
+        /// `proptest::num::f64::ANY`.
+        pub const ANY: AnyF64 = AnyF64;
+
+        impl Strategy for AnyF64 {
+            type Value = f64;
+            fn generate(&self, rng: &mut StdRng) -> f64 {
+                f64::from_bits(rng.gen())
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude::*`.
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{Arbitrary, Strategy};
+}
+
+/// Run each property over [`CASES`] deterministic inputs.
+///
+/// Supported form (the one this workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn my_property(x in 0u64..100, v in proptest::collection::vec(any::<u8>(), 0..40)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                for __case in 0..$crate::CASES {
+                    let mut __rng = $crate::case_rng(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(let $arg = $crate::Strategy::generate(&$strategy, &mut __rng);)+
+                    let __outcome: ::core::result::Result<(), ::std::string::String> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    match __outcome {
+                        Ok(()) => {}
+                        Err(e) if e == $crate::ASSUME_SKIPPED => {}
+                        Err(e) => panic!(
+                            "property {} failed on case {}: {}",
+                            stringify!($name),
+                            __case,
+                            e
+                        ),
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// `prop_assert!`: fail the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: {} ({}:{})",
+                format!($($fmt)+),
+                file!(),
+                line!()
+            ));
+        }
+    };
+}
+
+/// `prop_assert_eq!`: fail the current case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: {} == {} ({:?} vs {:?}) ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: {} ({:?} vs {:?}) ({}:{})",
+                format!($($fmt)+),
+                __l,
+                __r,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+/// `prop_assert_ne!`: fail the current case if both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: {} != {} (both {:?}) ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+/// `prop_assume!`: skip the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::ASSUME_SKIPPED.to_string());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u64..20, y in -5i64..=5) {
+            prop_assert!(x >= 10 && x < 20);
+            prop_assert!((-5..=5).contains(&y));
+        }
+
+        #[test]
+        fn vectors_respect_length(v in crate::collection::vec(0u8..=5, 0..50)) {
+            prop_assert!(v.len() < 50);
+            prop_assert!(v.iter().all(|&b| b <= 5));
+        }
+
+        #[test]
+        fn tuples_compose(p in (0u32..4, 0.0f64..1.0)) {
+            prop_assert!(p.0 < 4);
+            prop_assert!(p.1 >= 0.0 && p.1 < 1.0);
+        }
+
+        #[test]
+        fn assume_skips(v in 0u64..10) {
+            prop_assume!(v % 2 == 0);
+            prop_assert_eq!(v % 2, 0);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use rand::Rng;
+        let a: u64 = crate::case_rng("x::y", 3).gen();
+        let b: u64 = crate::case_rng("x::y", 3).gen();
+        let c: u64 = crate::case_rng("x::y", 4).gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,251 @@
+//! Offline shim for the `rand` 0.8 API surface this workspace uses.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a minimal, deterministic reimplementation: `StdRng` here is a
+//! xoshiro256++ generator seeded via SplitMix64 (the reference
+//! initialisation), not ChaCha12 — streams differ from upstream `rand`,
+//! but every consumer in this repo only requires determinism and
+//! statistical quality, both of which xoshiro256++ provides.
+//!
+//! Supported surface: `rngs::StdRng`, `SeedableRng::{seed_from_u64,
+//! from_seed}`, `Rng::{gen, gen_range, gen_bool, fill}`, and the
+//! `distributions::{Distribution, Standard}` plumbing behind `gen`.
+
+#![forbid(unsafe_code)]
+
+pub mod distributions;
+pub mod rngs;
+
+pub use distributions::{Distribution, Standard};
+
+/// Low-level generator interface: everything derives from `next_u64`.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits (high half of `next_u64`).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill a byte slice with random data.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// The seed type (32 bytes for `StdRng`).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanded via SplitMix64.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = splitmix64_next(&mut sm).to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub(crate) fn splitmix64_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// High-level sampling methods, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from the standard distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Sample uniformly from a range (`low..high` or `low..=high`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        let unit: f64 = Standard.sample(self);
+        unit < p
+    }
+
+    /// Fill `dest` with random data (byte slices and arrays).
+    fn fill<T: Fill + ?Sized>(&mut self, dest: &mut T) {
+        dest.fill_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types `Rng::fill` can populate.
+pub trait Fill {
+    /// Fill `self` from `rng`.
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl Fill for [u8] {
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        rng.fill_bytes(self);
+    }
+}
+
+impl<const N: usize> Fill for [u8; N] {
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        rng.fill_bytes(self);
+    }
+}
+
+/// Ranges `Rng::gen_range` accepts.
+pub trait SampleRange<T> {
+    /// Sample one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types with a uniform sampler over `[low, high)` / `[low, high]`.
+pub trait SampleUniform: Sized {
+    /// Uniform sample; `inclusive` selects closed upper bound.
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start() <= self.end(), "gen_range: empty range");
+        T::sample_uniform(rng, *self.start(), *self.end(), true)
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (high as i128 - low as i128) + if inclusive { 1 } else { 0 };
+                debug_assert!(span > 0);
+                // Modulo over a 128-bit product of two draws: bias is
+                // negligible (< 2^-64) for every span this repo uses.
+                let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                let offset = (wide % span as u128) as i128;
+                (low as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                _inclusive: bool,
+            ) -> Self {
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                low + (unit as $t) * (high - low)
+            }
+        }
+    )*};
+}
+
+impl_uniform_float!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1_000 {
+            let v = rng.gen_range(10i64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(0u8..=5);
+            assert!(w <= 5);
+            let f = rng.gen_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_floats_are_uniformish() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_200..2_800).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn fill_covers_arrays_and_slices() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut a = [0u8; 32];
+        rng.fill(&mut a);
+        assert!(a.iter().any(|&b| b != 0));
+        let mut v = vec![0u8; 9];
+        rng.fill(&mut v[..]);
+        assert!(v.iter().any(|&b| b != 0));
+    }
+}

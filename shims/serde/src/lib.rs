@@ -1,0 +1,29 @@
+//! Offline shim for the `serde` façade.
+//!
+//! Exposes `Serialize`/`Deserialize` as no-op derive macros (via the
+//! sibling `serde_derive` shim) plus empty marker traits of the same
+//! names, so `use serde::{Serialize, Deserialize}` and
+//! `#[derive(Serialize, Deserialize)]` both compile unchanged. Nothing in
+//! this workspace serializes through serde; the real crate drops back in
+//! without source changes once a registry is available.
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod ser {
+    //! Marker mirror of `serde::ser`.
+
+    /// Marker trait mirroring `serde::ser::Serialize` (never required as
+    /// a bound in this workspace).
+    pub trait Serialize {}
+}
+
+pub mod de {
+    //! Marker mirror of `serde::de`.
+
+    /// Marker trait mirroring `serde::de::Deserialize` (never required as
+    /// a bound in this workspace).
+    pub trait Deserialize<'de> {}
+}

@@ -1,0 +1,99 @@
+//! Thread-count invariance: the multi-core pipeline must produce
+//! bit-for-bit identical results at any worker count.
+//!
+//! This is the contract that makes the parallel client stage, the sharded
+//! ingest, and the parallel feature assembly safe to ship: parallelism
+//! may only change the wall clock, never the science. Each user draws
+//! from an RNG stream derived from `(seed, "client", user id)`, merges
+//! happen in user/delivery order, and the spend ledger runs its
+//! sequential pass over a decided order — so 1, 2, and 8 threads must
+//! agree on everything, down to float bit patterns.
+
+use orsp_core::{outcome_digest, PipelineConfig, PipelineOutcome, RspPipeline};
+use orsp_types::SimDuration;
+use orsp_world::{World, WorldConfig};
+
+fn test_world() -> World {
+    let cfg = WorldConfig {
+        users_per_zipcode: 70,
+        horizon: SimDuration::days(300),
+        ..WorldConfig::tiny(71)
+    };
+    World::generate(cfg).unwrap()
+}
+
+fn run_with_threads(world: &World, threads: usize) -> PipelineOutcome {
+    RspPipeline::new(PipelineConfig { threads, ..PipelineConfig::default() }).run(world)
+}
+
+#[test]
+fn outcome_identical_across_thread_counts() {
+    let world = test_world();
+    let baseline = run_with_threads(&world, 1);
+    let baseline_digest = outcome_digest(&baseline);
+
+    for threads in [2, 8] {
+        let outcome = run_with_threads(&world, threads);
+
+        // Headline scalars first, for a readable failure.
+        assert_eq!(
+            outcome.uploads_delivered, baseline.uploads_delivered,
+            "uploads_delivered diverges at {threads} threads"
+        );
+        assert_eq!(
+            outcome.tokens_issued, baseline.tokens_issued,
+            "tokens_issued diverges at {threads} threads"
+        );
+        assert_eq!(
+            outcome.eval.predicted, baseline.eval.predicted,
+            "eval.predicted diverges at {threads} threads"
+        );
+        assert_eq!(
+            outcome.coverage.median_after.to_bits(),
+            baseline.coverage.median_after.to_bits(),
+            "coverage.median_after diverges at {threads} threads"
+        );
+        assert_eq!(
+            outcome.eval.mae.to_bits(),
+            baseline.eval.mae.to_bits(),
+            "eval.mae diverges at {threads} threads"
+        );
+
+        // Full ground-truth ownership map, entry by entry.
+        assert_eq!(
+            outcome.record_owner, baseline.record_owner,
+            "record_owner diverges at {threads} threads"
+        );
+        assert_eq!(
+            outcome.fraud_flagged, baseline.fraud_flagged,
+            "fraud_flagged diverges at {threads} threads"
+        );
+
+        // And the whole outcome, bit for bit.
+        assert_eq!(
+            outcome_digest(&outcome),
+            baseline_digest,
+            "outcome digest diverges at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn auto_thread_count_matches_single_thread() {
+    // threads = 0 resolves to the machine's core count — whatever that
+    // is, the result must equal the single-threaded run.
+    let world = test_world();
+    let auto = run_with_threads(&world, 0);
+    let single = run_with_threads(&world, 1);
+    assert_eq!(outcome_digest(&auto), outcome_digest(&single));
+}
+
+#[test]
+fn repeated_runs_are_stable() {
+    // Same thread count twice: guards against any residual use of global
+    // or time-seeded state inside the parallel stages.
+    let world = test_world();
+    let a = run_with_threads(&world, 4);
+    let b = run_with_threads(&world, 4);
+    assert_eq!(outcome_digest(&a), outcome_digest(&b));
+}
