@@ -16,7 +16,7 @@ use crate::coverage::{CoverageReport, OpinionCounts};
 use crate::directory::{category_map, directory_entries};
 use orsp_anonet::{AnonymousUpload, BatchMix, LinkageScheme, MixConfig, NetworkObserver};
 use orsp_client::{ClientConfig, EntityMapper, RspClient, SessionizerConfig, VisitSessionizer};
-use orsp_crypto::{TokenMint, TokenWallet};
+use orsp_crypto::{RsaPublicKey, TokenIssuer, TokenMint, TokenWallet};
 use orsp_inference::{
     EvalReport, FeatureVector, GroupedPredictor, LabeledExample, OpinionPredictor, PairContext,
     Prediction, RepeatCountBaseline,
@@ -166,7 +166,7 @@ pub struct RspPipeline {
 
 /// Per-user data the inference stage needs (collected client-side; in a
 /// deployment this never leaves the device — inference runs there).
-struct UserView {
+pub(crate) struct UserView {
     user: UserId,
     home_estimate: GeoPoint,
     interactions: Vec<(EntityId, Interaction)>,
@@ -184,6 +184,17 @@ struct ClientOutput {
     owners: Vec<(RecordId, (UserId, EntityId))>,
     /// Network-entry observations — replayed into the observer in order.
     entries: Vec<(DeviceId, Timestamp)>,
+}
+
+/// Everything the client and mix stages produce before the server sees a
+/// single upload. The in-process path feeds `deliveries` straight into
+/// `deterministic_ingest`; the served path replays them over a transport
+/// — both then finish with [`RspPipeline::back_half`].
+pub(crate) struct FrontHalf {
+    pub(crate) observer: NetworkObserver,
+    pub(crate) record_owner: HashMap<RecordId, (UserId, EntityId)>,
+    pub(crate) user_views: Vec<UserView>,
+    pub(crate) deliveries: Vec<(Timestamp, orsp_client::UploadRequest)>,
 }
 
 impl RspPipeline {
@@ -220,12 +231,36 @@ impl RspPipeline {
         );
         let mint_public = mint.public_key().clone();
         let mapper = Arc::new(EntityMapper::new(directory_entries(world)));
-        let end = Timestamp::EPOCH + world.config.horizon;
 
-        // ---- Client stage: per-device processing, in parallel. -------
+        // Client + mix stages, issuing against the in-process mint.
         // Rate-limit accounting goes through the shared mint (per-device,
         // so timing-independent); RSA signing runs outside its lock.
         let shared_mint = Mutex::new(mint);
+        let front = self.front_half(world, &mapper, &mint_public, &|| &shared_mint);
+        let mut mint = shared_mint.into_inner().unwrap_or_else(|e| e.into_inner());
+
+        // ---- Ingest stage: sharded, parallel, order-preserving. ------
+        let ingest = deterministic_ingest(&front.deliveries, &mut mint, threads);
+        self.back_half(world, &mapper, front, ingest, mint.issued_total())
+    }
+
+    /// The client and network stages: per-device processing in parallel,
+    /// then the batch mix in time order. Generic over the token issuer so
+    /// the same code path runs against the in-process mint *or* a remote
+    /// service behind a transport — `make_issuer` builds one issuer per
+    /// worker invocation.
+    pub(crate) fn front_half<M: TokenIssuer>(
+        &self,
+        world: &World,
+        mapper: &Arc<EntityMapper>,
+        mint_public: &RsaPublicKey,
+        make_issuer: &(impl Fn() -> M + Sync),
+    ) -> FrontHalf {
+        let cfg = &self.config;
+        let threads = self.threads();
+        let end = Timestamp::EPOCH + world.config.horizon;
+
+        // ---- Client stage: per-device processing, in parallel. -------
         let energy_model = EnergyModel::default();
         let run_user = |user: &orsp_world::User| -> Option<ClientOutput> {
             let mut rng = rng_for_indexed(world.config.seed, "client", user.id.raw());
@@ -237,13 +272,13 @@ impl RspPipeline {
             let device = DeviceId::new(user.id.raw());
             let trace = render_user_trace(world, user.id, cfg.policy, &energy_model);
             let mut client =
-                RspClient::install(&mut rng, device, Arc::clone(&mapper), cfg.client);
+                RspClient::install(&mut rng, device, Arc::clone(mapper), cfg.client);
             let mut wallet = TokenWallet::new(device, mint_public.clone());
 
             let inferred = client.infer_interactions(&trace);
-            let home_estimate = estimate_home(&trace, &mapper, cfg.client.sessionizer)
+            let home_estimate = estimate_home(&trace, mapper, cfg.client.sessionizer)
                 .unwrap_or(GeoPoint::ORIGIN);
-            let mut issuer = &shared_mint;
+            let mut issuer = make_issuer();
             client.submit_streaming(&mut rng, &inferred, &mut wallet, &mut issuer, end);
 
             // Device-specific channel salt (the on-device secret the
@@ -286,8 +321,6 @@ impl RspPipeline {
         };
         let outputs: Vec<Option<ClientOutput>> =
             map_chunked(&world.users, threads, &run_user);
-        let mut mint =
-            shared_mint.into_inner().unwrap_or_else(|e| e.into_inner());
 
         // Deterministic merge: user order, independent of worker timing.
         let mut observer = NetworkObserver::new();
@@ -335,8 +368,22 @@ impl RspPipeline {
         let rest = mix.drain();
         deliver(rest, end, &mut deliveries, &mut observer);
 
-        // ---- Ingest stage: sharded, parallel, order-preserving. ------
-        let mut ingest = deterministic_ingest(&deliveries, &mut mint, threads);
+        FrontHalf { observer, record_owner, user_views, deliveries }
+    }
+
+    /// Server analytics, inference, and scoring over a populated ingest
+    /// service — everything downstream of delivery. Both the in-process
+    /// and the served pipeline end here, which is why they digest equal.
+    pub(crate) fn back_half(
+        &self,
+        world: &World,
+        mapper: &Arc<EntityMapper>,
+        front: FrontHalf,
+        mut ingest: IngestService,
+        tokens_issued: u64,
+    ) -> PipelineOutcome {
+        let cfg = &self.config;
+        let FrontHalf { observer, record_owner, user_views, deliveries: _ } = front;
         let uploads_delivered = ingest.stats().accepted;
 
         // ---- Server analytics: profiles and fraud. --------------------
@@ -368,7 +415,7 @@ impl RspPipeline {
         let flagged_set: HashSet<RecordId> = fraud_flagged.iter().copied().collect();
         let (dataset, test, inferred_histograms) = self.inference_stage(
             world,
-            &mapper,
+            mapper,
             &user_views,
             &record_owner,
             &flagged_set,
@@ -393,7 +440,7 @@ impl RspPipeline {
         let coverage = CoverageReport::compute(&universe, per_entity);
 
         PipelineOutcome {
-            tokens_issued: mint.issued_total(),
+            tokens_issued,
             ingest,
             observer,
             aggregates,

@@ -1,0 +1,132 @@
+//! Serve the RSP over the wire — the pipeline split across a network.
+//!
+//! [`service_for_world`] builds the wire-facing
+//! [`RspService`] whose token mint draws from the *same* RNG stream the
+//! in-process pipeline uses, [`run_client_side`] executes the pipeline's
+//! client and mix stages against any [`Transport`] (every blind token a
+//! real RPC) and replays the mixed deliveries as upload RPCs in delivery
+//! order, and [`complete_served`] extracts the mint and ingest state back
+//! out of the service and finishes the analytics half.
+//!
+//! The punchline, asserted by `tests/net_end_to_end.rs`: at the same
+//! seed, the served pipeline's [`outcome_digest`](crate::outcome_digest)
+//! is bit-identical to [`RspPipeline::run`]'s. Putting a wire protocol, a
+//! codec, and a transport between the client and the server changes
+//! nothing about the result — only who computes it where.
+
+use crate::directory::{directory_entries, listings};
+use crate::pipeline::{PipelineConfig, PipelineOutcome, RspPipeline};
+use orsp_client::EntityMapper;
+use orsp_crypto::{RsaPublicKey, TokenMint};
+use orsp_net::{
+    NetError, NetServer, RemoteIssuer, Request, Response, RspService, ServerConfig,
+    ServiceConfig, Transport,
+};
+use orsp_search::{Ranker, SearchIndex};
+use orsp_types::rng::rng_for;
+use orsp_types::{EntityId, StarHistogram};
+use orsp_world::World;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Build the wire-facing service for a world.
+///
+/// The mint is created from `rng_for(seed, "pipeline")` with the
+/// pipeline's modulus/rate parameters — the exact draws
+/// [`RspPipeline::run`] makes — so a served run and an in-process run at
+/// the same seed share a keypair, and with it every signature. The search
+/// index covers the world's listings; explicit review histograms feed
+/// ranking from day one (reviews are public — no privacy machinery
+/// needed for them).
+pub fn service_for_world(world: &World, config: &PipelineConfig) -> RspService {
+    let mut rng = rng_for(world.config.seed, "pipeline");
+    let mint = TokenMint::new(
+        &mut rng,
+        config.modulus_bits,
+        config.tokens_per_window,
+        config.token_window,
+    );
+    let mut explicit: HashMap<EntityId, StarHistogram> = HashMap::new();
+    for review in &world.reviews {
+        explicit.entry(review.entity).or_default().add(review.rating);
+    }
+    RspService::new(
+        mint,
+        SearchIndex::build(listings(world)),
+        explicit,
+        Ranker::default(),
+        ServiceConfig::default(),
+    )
+}
+
+/// Bind a TCP server for a world (use port 0 for an ephemeral port) and
+/// return it together with a handle to its service. The pipeline's core
+/// `serve()` entry point: world in, listening daemon out.
+pub fn serve(
+    world: &World,
+    config: &PipelineConfig,
+    addr: impl std::net::ToSocketAddrs,
+    server_config: ServerConfig,
+) -> std::io::Result<(NetServer, Arc<RspService>)> {
+    let service = Arc::new(service_for_world(world, config));
+    let server = NetServer::bind(addr, Arc::clone(&service), server_config)?;
+    Ok((server, service))
+}
+
+/// The client half of a served run: the front-half state plus what the
+/// server said about each delivery. Feed it to [`complete_served`].
+pub struct ServedRun {
+    front: crate::pipeline::FrontHalf,
+    mapper: Arc<EntityMapper>,
+    /// Uploads the server accepted.
+    pub uploads_accepted: u64,
+    /// Uploads the server rejected (bad token, double spend, ...).
+    pub uploads_rejected: u64,
+}
+
+/// Run the pipeline's client and mix stages against a [`Transport`].
+///
+/// Token issuance goes through the transport (a [`RemoteIssuer`] per
+/// device), and every mixed delivery is replayed as an `Upload` RPC in
+/// delivery order — the order `deterministic_ingest` would have consumed
+/// them, so the server builds the identical store. `mint_public` is the
+/// service's verifying key, distributed out of band (see
+/// [`RspService::mint_public_key`](orsp_net::RspService::mint_public_key)).
+pub fn run_client_side<T: Transport>(
+    pipeline: &RspPipeline,
+    world: &World,
+    mint_public: &RsaPublicKey,
+    transport: &T,
+) -> Result<ServedRun, NetError> {
+    let mapper = Arc::new(EntityMapper::new(directory_entries(world)));
+    let front =
+        pipeline.front_half(world, &mapper, mint_public, &|| RemoteIssuer::new(transport));
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
+    for (at, request) in &front.deliveries {
+        match transport.call(&Request::Upload { upload: request.clone(), now: *at })? {
+            Response::UploadAccepted => accepted += 1,
+            Response::UploadRejected { .. } => rejected += 1,
+            other => return Err(NetError::Unexpected(format!("upload got {other:?}"))),
+        }
+    }
+    Ok(ServedRun { front, mapper, uploads_accepted: accepted, uploads_rejected: rejected })
+}
+
+/// Finish a served run: tear the service down into its mint and ingest
+/// state and run the pipeline's analytics half over them, producing the
+/// same [`PipelineOutcome`] shape (and, at the same seed, the same
+/// digest) as an in-process run.
+///
+/// Takes the service by value: the server must be shut down and every
+/// other handle dropped first (`Arc::try_unwrap`), which is exactly the
+/// "no more requests in flight" precondition the analytics need.
+pub fn complete_served(
+    pipeline: &RspPipeline,
+    world: &World,
+    run: ServedRun,
+    service: RspService,
+) -> PipelineOutcome {
+    let (mint, ingest) = service.into_parts();
+    pipeline.back_half(world, &run.mapper, run.front, ingest, mint.issued_total())
+}

@@ -1,0 +1,214 @@
+//! Blocking TCP client with retry/backoff.
+//!
+//! One [`NetClient`] wraps one connection and reconnects transparently.
+//! Retries cover exactly the transient failures ([`NetError::is_retryable`]):
+//! an explicit `Busy` shed, a missed deadline, or a dropped connection —
+//! each retried on a fresh connection after exponential backoff. Protocol
+//! errors and server-reported errors are never retried.
+
+use crate::error::NetError;
+use crate::stream::{read_message, write_message};
+use crate::transport::Transport;
+use crate::wire::{Request, Response, SearchHit};
+use orsp_client::UploadRequest;
+use orsp_crypto::{BlindSignature, BlindedMessage};
+use orsp_search::SearchQuery;
+use orsp_server::{EntityAggregate, RejectReason};
+use orsp_types::{DeviceId, EntityId, Timestamp};
+use parking_lot::Mutex;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Client tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientConfig {
+    /// Deadline for establishing a connection.
+    pub connect_timeout: Duration,
+    /// Per-call read deadline.
+    pub read_timeout: Duration,
+    /// Per-call write deadline.
+    pub write_timeout: Duration,
+    /// Retries after the first attempt (on retryable failures only).
+    pub max_retries: u32,
+    /// First backoff sleep; doubles each retry.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            max_retries: 5,
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(320),
+        }
+    }
+}
+
+/// A blocking connection to an RSP server.
+pub struct NetClient {
+    addr: SocketAddr,
+    config: ClientConfig,
+    stream: Option<TcpStream>,
+    retries: u64,
+}
+
+impl NetClient {
+    /// Connect to `addr` (eagerly, so configuration errors surface here).
+    pub fn connect(addr: SocketAddr, config: ClientConfig) -> Result<NetClient, NetError> {
+        let mut client = NetClient { addr, config, stream: None, retries: 0 };
+        client.ensure_stream()?;
+        Ok(client)
+    }
+
+    /// Total retry attempts this client has made (busy + timeout + drop).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    fn ensure_stream(&mut self) -> Result<&mut TcpStream, NetError> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)
+                .map_err(NetError::from_io)?;
+            let _ = stream.set_nodelay(true);
+            stream
+                .set_read_timeout(Some(self.config.read_timeout))
+                .map_err(NetError::from_io)?;
+            stream
+                .set_write_timeout(Some(self.config.write_timeout))
+                .map_err(NetError::from_io)?;
+            self.stream = Some(stream);
+        }
+        Ok(self.stream.as_mut().expect("just set"))
+    }
+
+    fn call_once(&mut self, frame: &[u8]) -> Result<Response, NetError> {
+        let stream = self.ensure_stream()?;
+        write_message(stream, frame)?;
+        match read_message(stream)? {
+            Some(payload) => Ok(Response::decode_payload(&payload)?),
+            None => Err(NetError::Closed),
+        }
+    }
+
+    /// Send one request; retry with exponential backoff on `Busy`,
+    /// timeouts, and dropped connections, reconnecting each time.
+    pub fn call(&mut self, request: &Request) -> Result<Response, NetError> {
+        let frame = request.encode();
+        let mut attempt: u32 = 0;
+        loop {
+            let failure = match self.call_once(&frame) {
+                Ok(Response::Busy) => NetError::Busy,
+                Ok(response) => return Ok(response),
+                Err(e) if e.is_retryable() => e,
+                Err(e) => return Err(e),
+            };
+            // Whatever happened, this connection is suspect: reconnect.
+            self.stream = None;
+            if attempt >= self.config.max_retries {
+                return Err(failure);
+            }
+            let backoff = self
+                .config
+                .backoff_base
+                .saturating_mul(1u32 << attempt.min(16))
+                .min(self.config.backoff_cap);
+            std::thread::sleep(backoff);
+            attempt += 1;
+            self.retries += 1;
+        }
+    }
+
+    // ------------------------------------------------- typed RPC helpers
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), NetError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Request a blind signature (the issuance RPC).
+    pub fn issue_token(
+        &mut self,
+        device: DeviceId,
+        blinded: &BlindedMessage,
+        now: Timestamp,
+    ) -> Result<Result<BlindSignature, String>, NetError> {
+        match self.call(&Request::IssueToken { device, blinded: blinded.clone(), now })? {
+            Response::TokenIssued { signature } => Ok(Ok(signature)),
+            Response::TokenDenied { reason } => Ok(Err(reason)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Upload one anonymous record. The outer error is transport-level;
+    /// the inner `Result` is the server's admission verdict.
+    pub fn upload(
+        &mut self,
+        upload: UploadRequest,
+        now: Timestamp,
+    ) -> Result<Result<(), RejectReason>, NetError> {
+        match self.call(&Request::Upload { upload, now })? {
+            Response::UploadAccepted => Ok(Ok(())),
+            Response::UploadRejected { reason } => Ok(Err(reason)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetch an entity's published aggregate (None below the floor).
+    pub fn fetch_aggregate(
+        &mut self,
+        entity: EntityId,
+    ) -> Result<Option<EntityAggregate>, NetError> {
+        match self.call(&Request::FetchAggregate { entity })? {
+            Response::Aggregate { aggregate } => Ok(aggregate),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Ranked search.
+    pub fn search(&mut self, query: SearchQuery) -> Result<Vec<SearchHit>, NetError> {
+        match self.call(&Request::Search { query })? {
+            Response::SearchResults { hits } => Ok(hits),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(response: &Response) -> NetError {
+    match response {
+        Response::Error { detail } => NetError::Unexpected(format!("server error: {detail}")),
+        other => NetError::Unexpected(format!("{other:?}")),
+    }
+}
+
+/// [`Transport`] over a TCP connection: interior mutability so worker
+/// threads can share it (calls serialize on the connection, matching a
+/// real device's single link to the service).
+pub struct TcpTransport {
+    client: Mutex<NetClient>,
+}
+
+impl TcpTransport {
+    /// Connect a transport.
+    pub fn connect(addr: SocketAddr, config: ClientConfig) -> Result<TcpTransport, NetError> {
+        Ok(TcpTransport { client: Mutex::new(NetClient::connect(addr, config)?) })
+    }
+
+    /// Total retries across all calls.
+    pub fn retries(&self) -> u64 {
+        self.client.lock().retries()
+    }
+}
+
+impl Transport for TcpTransport {
+    fn call(&self, request: &Request) -> Result<Response, NetError> {
+        self.client.lock().call(request)
+    }
+}

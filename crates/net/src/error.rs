@@ -1,0 +1,137 @@
+//! Typed errors for the wire protocol and transports.
+
+use std::fmt;
+
+/// Errors raised while parsing frames or payloads. Every malformed input
+/// maps to one of these — the codec never panics and never hangs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ends before the frame does. `need` is the total frame
+    /// length implied by what was readable so far.
+    Truncated {
+        /// Bytes available.
+        have: usize,
+        /// Bytes the complete frame needs.
+        need: usize,
+    },
+    /// The first four bytes are not the protocol magic.
+    BadMagic([u8; 4]),
+    /// The version byte is not one this endpoint speaks.
+    BadVersion(u8),
+    /// The declared payload length exceeds [`crate::wire::MAX_PAYLOAD`].
+    Oversized {
+        /// Declared payload length.
+        len: usize,
+    },
+    /// The payload checksum does not match the header.
+    BadCrc {
+        /// CRC stored in the header.
+        stored: u32,
+        /// CRC computed over the received payload.
+        computed: u32,
+    },
+    /// The frame is sound but the payload inside is not a valid message.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { have, need } => {
+                write!(f, "truncated frame: have {have} bytes, need {need}")
+            }
+            WireError::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::Oversized { len } => write!(f, "oversized frame: {len} byte payload"),
+            WireError::BadCrc { stored, computed } => {
+                write!(f, "crc mismatch: header {stored:08x}, payload {computed:08x}")
+            }
+            WireError::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Errors a transport (TCP or in-memory) can surface to callers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The peer sent bytes that do not parse as protocol frames.
+    Wire(WireError),
+    /// A connection-level I/O failure (refused, reset, ...).
+    Io(std::io::ErrorKind, String),
+    /// A read or write missed its deadline.
+    Timeout,
+    /// The server shed this request under load and retries are exhausted.
+    Busy,
+    /// The connection closed mid-exchange.
+    Closed,
+    /// The peer answered with a response the caller cannot use (wrong
+    /// variant for the request, or an explicit server-side error report).
+    Unexpected(String),
+}
+
+impl NetError {
+    /// Map an I/O error to the typed equivalent.
+    pub fn from_io(err: std::io::Error) -> NetError {
+        use std::io::ErrorKind;
+        match err.kind() {
+            ErrorKind::WouldBlock | ErrorKind::TimedOut => NetError::Timeout,
+            ErrorKind::UnexpectedEof | ErrorKind::ConnectionReset | ErrorKind::BrokenPipe => {
+                NetError::Closed
+            }
+            kind => NetError::Io(kind, err.to_string()),
+        }
+    }
+
+    /// True for transient failures a client may retry with backoff:
+    /// explicit load-shedding, missed deadlines, and dropped connections.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, NetError::Busy | NetError::Timeout | NetError::Closed)
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Wire(e) => write!(f, "wire error: {e}"),
+            NetError::Io(kind, msg) => write!(f, "io error ({kind:?}): {msg}"),
+            NetError::Timeout => write!(f, "deadline exceeded"),
+            NetError::Busy => write!(f, "server busy (load shed)"),
+            NetError::Closed => write!(f, "connection closed"),
+            NetError::Unexpected(what) => write!(f, "unexpected response: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_mapping_is_typed() {
+        let t = std::io::Error::new(std::io::ErrorKind::TimedOut, "slow");
+        assert_eq!(NetError::from_io(t), NetError::Timeout);
+        let eof = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "gone");
+        assert_eq!(NetError::from_io(eof), NetError::Closed);
+        let refused = std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "no");
+        assert!(matches!(NetError::from_io(refused), NetError::Io(_, _)));
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(NetError::Busy.is_retryable());
+        assert!(NetError::Timeout.is_retryable());
+        assert!(NetError::Closed.is_retryable());
+        assert!(!NetError::Wire(WireError::BadVersion(9)).is_retryable());
+        assert!(!NetError::Unexpected("pong".into()).is_retryable());
+    }
+}

@@ -1,0 +1,36 @@
+//! # orsp-net
+//!
+//! The wire-facing service layer: the RSP as an actual network service
+//! rather than an in-process function call.
+//!
+//! * [`wire`] — length-prefixed, CRC-checked binary frames for the four
+//!   RPCs: blind-token issue, anonymous record upload (update-only — no
+//!   retrieval RPC exists, by design), aggregate fetch, and search.
+//! * [`router`] — [`RspService`]: one `handle(Request) -> Response`
+//!   facade over the server substrates (mint, ingest, aggregates, search).
+//! * [`server`] — a synchronous thread-pool TCP server over `std::net`
+//!   (no async runtime, per DESIGN §5) with per-connection deadlines, a
+//!   bounded accept queue, explicit `Busy` load-shedding, and graceful
+//!   drain-on-shutdown.
+//! * [`client`] — a blocking client with retry/backoff on `Busy`,
+//!   timeouts, and dropped connections.
+//! * [`transport`] — the [`Transport`] trait with a deterministic
+//!   in-memory implementation (tests) beside the TCP one (daemon, bench).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod error;
+pub mod router;
+pub mod server;
+pub mod stream;
+pub mod transport;
+pub mod wire;
+
+pub use client::{ClientConfig, NetClient, TcpTransport};
+pub use error::{NetError, WireError};
+pub use router::{RspService, ServiceConfig};
+pub use server::{NetServer, ServerConfig, ServerStats};
+pub use transport::{InMemoryTransport, RemoteIssuer, Transport};
+pub use wire::{Request, Response, SearchHit};

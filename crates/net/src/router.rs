@@ -1,0 +1,346 @@
+//! The service router: one `handle(Request) -> Response` facade over the
+//! server-side substrates (token mint, ingest service, aggregate
+//! publisher, search index).
+//!
+//! The router owns all mutable server state behind one lock. Request
+//! handling is deterministic given the request sequence; cross-device
+//! interleavings cannot change any device's outcome because rate-limit
+//! accounting is per-device and RSA signing is a pure function — the
+//! property the served pipeline's digest-equality test leans on.
+
+use crate::wire::{Request, Response, SearchHit};
+use orsp_crypto::TokenMint;
+use orsp_search::{InferredSummary, Ranker, ReviewSummary, SearchIndex};
+use orsp_server::{
+    AggregatePublisher, EntityAggregate, IngestService, IngestStats, MIN_AGGREGATE_SUPPORT,
+};
+use orsp_types::{EntityId, StarHistogram};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Router tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// k-anonymity floor: aggregates (and per-hit support detail) for
+    /// entities with fewer anonymous histories are suppressed.
+    pub min_aggregate_support: usize,
+    /// Cap on search hits per response.
+    pub max_search_results: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            min_aggregate_support: MIN_AGGREGATE_SUPPORT,
+            max_search_results: 20,
+        }
+    }
+}
+
+struct ServiceState {
+    mint: TokenMint,
+    ingest: IngestService,
+    index: SearchIndex,
+    ranker: Ranker,
+    explicit: HashMap<EntityId, StarHistogram>,
+    inferred: HashMap<EntityId, StarHistogram>,
+}
+
+/// The wire-facing RSP service: every RPC lands here.
+pub struct RspService {
+    state: Mutex<ServiceState>,
+    config: ServiceConfig,
+}
+
+impl RspService {
+    /// A service over a token mint, a search index, and the explicit
+    /// review histograms the index ranks with. The history store starts
+    /// empty — it fills from `Upload` requests.
+    pub fn new(
+        mint: TokenMint,
+        index: SearchIndex,
+        explicit: HashMap<EntityId, StarHistogram>,
+        ranker: Ranker,
+        config: ServiceConfig,
+    ) -> Self {
+        RspService {
+            state: Mutex::new(ServiceState {
+                mint,
+                ingest: IngestService::new(),
+                index,
+                ranker,
+                explicit,
+                inferred: HashMap::new(),
+            }),
+            config,
+        }
+    }
+
+    /// Publish inferred-opinion histograms (e.g. after an inference pass)
+    /// so search ranking blends them in.
+    pub fn publish_inferred(&self, inferred: HashMap<EntityId, StarHistogram>) {
+        self.state.lock().inferred = inferred;
+    }
+
+    /// Handle one decoded request.
+    pub fn handle(&self, request: Request) -> Response {
+        match request {
+            Request::Ping => Response::Pong,
+            Request::IssueToken { device, blinded, now } => {
+                let mut state = self.state.lock();
+                match state.mint.issue(device, &blinded, now) {
+                    Ok(signature) => Response::TokenIssued { signature },
+                    Err(e) => Response::TokenDenied { reason: e.to_string() },
+                }
+            }
+            Request::Upload { upload, now } => {
+                let state = &mut *self.state.lock();
+                match state.ingest.ingest(&upload, &mut state.mint, now) {
+                    Ok(()) => Response::UploadAccepted,
+                    Err(reason) => Response::UploadRejected { reason },
+                }
+            }
+            Request::FetchAggregate { entity } => {
+                let state = self.state.lock();
+                Response::Aggregate { aggregate: self.published_aggregate(&state, entity) }
+            }
+            Request::Search { query } => {
+                let state = self.state.lock();
+                let candidates: Vec<(EntityId, ReviewSummary, InferredSummary)> = state
+                    .index
+                    .query(&query)
+                    .into_iter()
+                    .map(|listing| {
+                        let explicit = ReviewSummary {
+                            histogram: state
+                                .explicit
+                                .get(&listing.id)
+                                .cloned()
+                                .unwrap_or_default(),
+                        };
+                        let mut inferred = InferredSummary {
+                            histogram: state
+                                .inferred
+                                .get(&listing.id)
+                                .cloned()
+                                .unwrap_or_default(),
+                            ..InferredSummary::default()
+                        };
+                        if let Some(agg) = self.published_aggregate(&state, listing.id) {
+                            inferred = inferred.with_aggregate(&agg);
+                        }
+                        (listing.id, explicit, inferred)
+                    })
+                    .collect();
+                let mut ranked = state.ranker.rank(candidates);
+                ranked.truncate(self.config.max_search_results);
+                Response::SearchResults {
+                    hits: ranked
+                        .into_iter()
+                        .map(|r| SearchHit {
+                            entity: r.entity,
+                            score: r.score,
+                            explicit: r.explicit.histogram,
+                            inferred: r.inferred.histogram,
+                            histories: r.inferred.histories as u64,
+                            repeat_fraction: r.inferred.repeat_fraction,
+                        })
+                        .collect(),
+                }
+            }
+        }
+    }
+
+    /// Handle one encoded frame: decode, dispatch, encode. Decode
+    /// failures come back as an encoded `Error` response — a server never
+    /// answers a sound frame with silence.
+    pub fn handle_frame(&self, frame: &[u8]) -> Vec<u8> {
+        match Request::decode(frame) {
+            Ok(request) => self.handle(request).encode(),
+            Err(e) => Response::Error { detail: e.to_string() }.encode(),
+        }
+    }
+
+    /// The entity's aggregate if it clears the k-anonymity floor.
+    fn published_aggregate(
+        &self,
+        state: &ServiceState,
+        entity: EntityId,
+    ) -> Option<EntityAggregate> {
+        let agg = AggregatePublisher::for_entity(state.ingest.store(), entity);
+        if agg.histories >= self.config.min_aggregate_support {
+            Some(agg)
+        } else {
+            None
+        }
+    }
+
+    /// The mint's public (verifying) key — distributed to devices out of
+    /// band in a deployment; exposed here so wallets and examples can
+    /// bootstrap.
+    pub fn mint_public_key(&self) -> orsp_crypto::RsaPublicKey {
+        self.state.lock().mint.public_key().clone()
+    }
+
+    /// Ingest counters so far.
+    pub fn ingest_stats(&self) -> IngestStats {
+        self.state.lock().ingest.stats()
+    }
+
+    /// Total blind signatures issued.
+    pub fn tokens_issued(&self) -> u64 {
+        self.state.lock().mint.issued_total()
+    }
+
+    /// Tear the service down into its mint and ingest service — the state
+    /// a served pipeline needs back to finish its analytics stages.
+    pub fn into_parts(self) -> (TokenMint, IngestService) {
+        let state = self.state.into_inner();
+        (state.mint, state.ingest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orsp_crypto::{BlindingSession, Token, TokenWallet};
+    use orsp_types::rng::rng_for;
+    use rand::Rng;
+    use orsp_types::{DeviceId, SimDuration, Timestamp};
+
+    fn service(tokens_per_window: u32) -> RspService {
+        let mut rng = rng_for(7, "router-test");
+        let mint = TokenMint::new(&mut rng, 256, tokens_per_window, SimDuration::DAY);
+        RspService::new(
+            mint,
+            SearchIndex::build(Vec::new()),
+            HashMap::new(),
+            Ranker::default(),
+            ServiceConfig::default(),
+        )
+    }
+
+    #[test]
+    fn ping_pong() {
+        let svc = service(4);
+        assert_eq!(svc.handle(Request::Ping), Response::Pong);
+    }
+
+    #[test]
+    fn issue_until_rate_limited() {
+        let svc = service(2);
+        let mut rng = rng_for(8, "router-test-client");
+        let device = DeviceId::new(1);
+        let public = {
+            // Grab the mint's public key through a round trip: issue one
+            // token and verify the wallet accepts the signature.
+            svc.state.lock().mint.public_key().clone()
+        };
+        for attempt in 0..3 {
+            let mut message = [0u8; 32];
+            rng.fill(&mut message);
+            let (session, blinded) = BlindingSession::blind(&mut rng, &public, &message);
+            let response = svc.handle(Request::IssueToken {
+                device,
+                blinded,
+                now: Timestamp::EPOCH,
+            });
+            match response {
+                Response::TokenIssued { signature } if attempt < 2 => {
+                    session.unblind(&signature).expect("signature verifies");
+                }
+                Response::TokenDenied { .. } if attempt == 2 => {}
+                other => panic!("attempt {attempt}: unexpected {other:?}"),
+            }
+        }
+        assert_eq!(svc.tokens_issued(), 2);
+    }
+
+    #[test]
+    fn upload_rejects_forged_token() {
+        let svc = service(4);
+        let upload = orsp_client::UploadRequest {
+            record_id: orsp_types::RecordId::from_bytes([9; 32]),
+            entity: EntityId::new(1),
+            interaction: orsp_types::Interaction {
+                kind: orsp_types::InteractionKind::Visit,
+                start: Timestamp::EPOCH,
+                duration: SimDuration::minutes(30),
+                distance_travelled_m: 100.0,
+                group_size: 1,
+            },
+            token: Token {
+                message: [0; 32],
+                signature: orsp_crypto::BigUint::from_u64(12345),
+            },
+            release_at: Timestamp::EPOCH,
+        };
+        assert_eq!(
+            svc.handle(Request::Upload { upload, now: Timestamp::EPOCH }),
+            Response::UploadRejected { reason: orsp_server::RejectReason::BadToken }
+        );
+        assert_eq!(svc.ingest_stats().bad_token, 1);
+    }
+
+    #[test]
+    fn valid_upload_lands_in_store_and_aggregate_floor_holds() {
+        let svc = service(16);
+        let public = svc.state.lock().mint.public_key().clone();
+        let mut rng = rng_for(9, "router-test-upload");
+        let device = DeviceId::new(3);
+        let mut wallet = TokenWallet::new(device, public);
+        let entity = EntityId::new(77);
+        // One upload: below the k-anonymity floor, so no aggregate.
+        let mut issuer = ServiceIssuer(&svc);
+        wallet.request_token(&mut rng, &mut issuer, Timestamp::EPOCH).unwrap();
+        let upload = orsp_client::UploadRequest {
+            record_id: orsp_types::RecordId::from_bytes([1; 32]),
+            entity,
+            interaction: orsp_types::Interaction {
+                kind: orsp_types::InteractionKind::Visit,
+                start: Timestamp::EPOCH,
+                duration: SimDuration::minutes(45),
+                distance_travelled_m: 900.0,
+                group_size: 2,
+            },
+            token: wallet.take_token().unwrap(),
+            release_at: Timestamp::EPOCH,
+        };
+        assert_eq!(
+            svc.handle(Request::Upload { upload, now: Timestamp::EPOCH }),
+            Response::UploadAccepted
+        );
+        assert_eq!(svc.ingest_stats().accepted, 1);
+        assert_eq!(
+            svc.handle(Request::FetchAggregate { entity }),
+            Response::Aggregate { aggregate: None },
+            "one history is below the k-anonymity floor"
+        );
+    }
+
+    /// Issue tokens by calling the service directly (no transport).
+    struct ServiceIssuer<'a>(&'a RspService);
+
+    impl orsp_crypto::TokenIssuer for ServiceIssuer<'_> {
+        fn issue(
+            &mut self,
+            device: DeviceId,
+            blinded: &orsp_crypto::BlindedMessage,
+            now: Timestamp,
+        ) -> orsp_types::Result<orsp_crypto::BlindSignature> {
+            match self.0.handle(Request::IssueToken {
+                device,
+                blinded: blinded.clone(),
+                now,
+            }) {
+                Response::TokenIssued { signature } => Ok(signature),
+                Response::TokenDenied { reason } => {
+                    Err(orsp_types::OrspError::InvalidToken(reason))
+                }
+                other => Err(orsp_types::OrspError::Crypto(format!(
+                    "unexpected response: {other:?}"
+                ))),
+            }
+        }
+    }
+}

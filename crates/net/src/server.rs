@@ -1,0 +1,254 @@
+//! Synchronous thread-pool TCP server over `std::net`.
+//!
+//! No async runtime (DESIGN §5): one acceptor thread feeds a *bounded*
+//! queue drained by a fixed worker pool. The bound is the backpressure
+//! contract — when the queue is full the acceptor writes an explicit
+//! [`Response::Busy`] frame and closes, so overload is always visible to
+//! the client and never a silent drop. Every connection runs with read
+//! and write deadlines; a stalled peer costs one worker at most one
+//! timeout. Shutdown drains: queued connections are still served (one
+//! request each once the flag is up), in-flight responses complete, then
+//! workers exit.
+
+use crate::error::NetError;
+use crate::router::RspService;
+use crate::stream::{read_message, write_message};
+use crate::wire::{Request, Response};
+use parking_lot::Mutex;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Bound on the accept→worker queue. Connections beyond
+    /// `workers + queue_depth` are shed with `Busy`.
+    pub queue_depth: usize,
+    /// Per-connection read deadline.
+    pub read_timeout: Duration,
+    /// Per-connection write deadline.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_depth: 64,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Monotonic counters, readable while the server runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections handed to a worker.
+    pub accepted: u64,
+    /// Connections shed with an explicit `Busy` frame.
+    pub shed: u64,
+    /// Requests decoded and dispatched.
+    pub requests: u64,
+    /// Frames or payloads that failed to parse.
+    pub protocol_errors: u64,
+}
+
+#[derive(Default)]
+struct StatsInner {
+    accepted: AtomicU64,
+    shed: AtomicU64,
+    requests: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+struct Shared {
+    service: Arc<RspService>,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    stats: StatsInner,
+}
+
+/// A running server: an acceptor, a worker pool, and the bounded queue
+/// between them. Dropping it shuts down gracefully.
+pub struct NetServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Bind and start serving `service` on `addr` (use port 0 for an
+    /// ephemeral port; read it back with [`Self::local_addr`]).
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        service: Arc<RspService>,
+        config: ServerConfig,
+    ) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            service,
+            config,
+            shutdown: AtomicBool::new(false),
+            stats: StatsInner::default(),
+        });
+        let workers = config.workers.max(1);
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+
+        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || worker_loop(&shared, &rx))
+            })
+            .collect();
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&shared, &listener, tx))
+        };
+
+        Ok(NetServer { addr: local, shared, acceptor: Some(acceptor), workers: worker_handles })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A point-in-time counter snapshot.
+    pub fn stats(&self) -> ServerStats {
+        let s = &self.shared.stats;
+        ServerStats {
+            accepted: s.accepted.load(Ordering::Relaxed),
+            shed: s.shed.load(Ordering::Relaxed),
+            requests: s.requests.load(Ordering::Relaxed),
+            protocol_errors: s.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Graceful drain: stop accepting, serve what is queued and in
+    /// flight, join every thread, and return the final counters.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.stop();
+        self.stats()
+    }
+
+    fn stop(&mut self) {
+        if self.acceptor.is_none() {
+            return;
+        }
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake the acceptor out of `accept()` with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        // The acceptor dropped its sender; workers drain the queue and
+        // then see the channel disconnect.
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: &TcpListener, tx: SyncSender<TcpStream>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // The wake-up connection (or a late arrival): close and stop.
+            return;
+        }
+        match tx.try_send(stream) {
+            Ok(()) => {
+                shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(TrySendError::Full(stream)) => {
+                // Explicit load shed: tell the client before closing.
+                shed(shared, stream);
+                shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(TrySendError::Disconnected(_)) => return,
+        }
+    }
+}
+
+fn shed(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let _ = write_message(&mut stream, &Response::Busy.encode());
+    // Drop closes the socket; the Busy frame is already on the wire (or
+    // the peer is gone, in which case there is no one left to tell).
+}
+
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
+    loop {
+        // Hold the lock only while dequeuing, not while serving.
+        let next = { rx.lock().recv() };
+        match next {
+            Ok(stream) => serve_connection(shared, stream),
+            Err(_) => return, // acceptor gone and queue drained
+        }
+    }
+}
+
+fn serve_connection(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    loop {
+        let payload = match read_message(&mut stream) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return, // clean close between frames
+            Err(NetError::Wire(e)) => {
+                // Framing is unrecoverable mid-stream: report, then close.
+                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let reply = Response::Error { detail: e.to_string() };
+                let _ = write_message(&mut stream, &reply.encode());
+                return;
+            }
+            Err(_) => return, // timeout / reset: the deadline did its job
+        };
+        let response = match Request::decode_payload(&payload) {
+            Ok(request) => {
+                shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+                shared.service.handle(request)
+            }
+            Err(e) => {
+                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                Response::Error { detail: e.to_string() }
+            }
+        };
+        if write_message(&mut stream, &response.encode()).is_err() {
+            return;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Drain semantics: the in-flight request got its response;
+            // further requests need a new connection (which will be
+            // refused). Close now so shutdown can join this worker.
+            return;
+        }
+    }
+}

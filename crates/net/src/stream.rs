@@ -1,0 +1,88 @@
+//! Frame I/O over blocking byte streams (`std::io::Read`/`Write`).
+//!
+//! Shared by the TCP server and client so both sides enforce the same
+//! header validation, CRC check, and payload cap. Deadlines are the
+//! socket's read/write timeouts — a peer that stalls mid-frame surfaces
+//! as [`NetError::Timeout`], never as a hang.
+
+use crate::error::NetError;
+use crate::wire::{check_crc, parse_header, HEADER_LEN};
+use std::io::{Read, Write};
+
+/// Write one already-framed message.
+pub fn write_message<W: Write>(w: &mut W, frame: &[u8]) -> Result<(), NetError> {
+    w.write_all(frame).map_err(NetError::from_io)?;
+    w.flush().map_err(NetError::from_io)
+}
+
+/// Read one message's payload. `Ok(None)` means the peer closed cleanly
+/// *between* frames; EOF mid-frame is a typed error.
+pub fn read_message<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, NetError> {
+    let mut header = [0u8; HEADER_LEN];
+    // First byte separately: a clean close before any header byte is a
+    // normal end of conversation, not an error.
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(NetError::from_io(e)),
+        }
+    }
+    header[0] = first[0];
+    r.read_exact(&mut header[1..]).map_err(NetError::from_io)?;
+    let (len, crc) = parse_header(&header)?;
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(NetError::from_io)?;
+    check_crc(&payload, crc)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::WireError;
+    use crate::wire::frame;
+
+    #[test]
+    fn round_trip_over_cursor() {
+        let mut buf = Vec::new();
+        write_message(&mut buf, &frame(b"abc")).unwrap();
+        write_message(&mut buf, &frame(b"defg")).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_message(&mut r).unwrap(), Some(b"abc".to_vec()));
+        assert_eq!(read_message(&mut r).unwrap(), Some(b"defg".to_vec()));
+        assert_eq!(read_message(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn eof_mid_frame_is_an_error() {
+        let framed = frame(b"abcdef");
+        let mut r = &framed[..framed.len() - 2];
+        assert!(matches!(read_message(&mut r), Err(NetError::Closed)));
+    }
+
+    #[test]
+    fn corrupt_crc_is_a_wire_error() {
+        let mut framed = frame(b"abcdef");
+        let n = framed.len();
+        framed[n - 1] ^= 0x01;
+        let mut r = &framed[..];
+        assert!(matches!(
+            read_message(&mut r),
+            Err(NetError::Wire(WireError::BadCrc { .. }))
+        ));
+    }
+
+    #[test]
+    fn hostile_length_is_capped() {
+        let mut framed = frame(b"x");
+        framed[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut r = &framed[..];
+        assert!(matches!(
+            read_message(&mut r),
+            Err(NetError::Wire(WireError::Oversized { .. }))
+        ));
+    }
+}

@@ -1,0 +1,776 @@
+//! The RSP wire protocol: length-prefixed, CRC-checked binary frames.
+//!
+//! One frame carries one message:
+//!
+//! ```text
+//! magic "ORSP" (4) | version (1) | payload len (4, LE) | crc32 (4, LE) | payload
+//! ```
+//!
+//! The CRC covers the payload (same polynomial as the server WAL). The
+//! payload's first byte is the message tag; all integers are little
+//! endian; `BigUint`s travel as `u16` length + big-endian magnitude;
+//! strings as `u16` length + UTF-8. Decoding a hostile buffer returns a
+//! typed [`WireError`] — it never panics, never over-allocates beyond the
+//! frame cap, and never reads past the declared length.
+//!
+//! The four RPCs mirror the paper's API surface: blind-token issue,
+//! anonymous record upload (update-only — there is deliberately no
+//! "fetch record" request), aggregate fetch, and search. `Busy` is the
+//! server's explicit load-shed response.
+
+use crate::error::WireError;
+use bytes::{BufMut, BytesMut};
+use orsp_client::UploadRequest;
+use orsp_crypto::{BigUint, BlindSignature, BlindedMessage, Token};
+use orsp_search::SearchQuery;
+use orsp_server::{crc32, EntityAggregate, RejectReason};
+use orsp_types::{
+    Category, DeviceId, EntityId, Interaction, InteractionKind, RecordId, SimDuration,
+    StarHistogram, Timestamp,
+};
+
+/// Frame magic: "ORSP".
+pub const MAGIC: [u8; 4] = *b"ORSP";
+/// Protocol version this endpoint speaks.
+pub const VERSION: u8 = 1;
+/// Bytes before the payload: magic, version, length, CRC.
+pub const HEADER_LEN: usize = 13;
+/// Hard cap on payload size. Anything larger is rejected before any
+/// allocation happens — a hostile length prefix cannot balloon memory.
+pub const MAX_PAYLOAD: usize = 1 << 20;
+
+// ---------------------------------------------------------------- frames
+
+/// Wrap a payload in a frame (header + CRC).
+///
+/// Payloads built by this crate are far below [`MAX_PAYLOAD`]; this is
+/// debug-asserted rather than returned as an error because an oversized
+/// *outgoing* frame is a bug in the encoder, not a runtime condition.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    debug_assert!(payload.len() <= MAX_PAYLOAD);
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + payload.len());
+    buf.put_slice(&MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u32_le(payload.len() as u32);
+    buf.put_u32_le(crc32(payload));
+    buf.put_slice(payload);
+    buf.freeze().to_vec()
+}
+
+/// Parse a frame header: returns `(payload_len, expected_crc)`.
+pub fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(usize, u32), WireError> {
+    let mut magic = [0u8; 4];
+    magic.copy_from_slice(&header[0..4]);
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = header[4];
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let len = u32::from_le_bytes([header[5], header[6], header[7], header[8]]) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(WireError::Oversized { len });
+    }
+    let crc = u32::from_le_bytes([header[9], header[10], header[11], header[12]]);
+    Ok((len, crc))
+}
+
+/// Verify a received payload against the CRC from its header.
+pub fn check_crc(payload: &[u8], stored: u32) -> Result<(), WireError> {
+    let computed = crc32(payload);
+    if computed != stored {
+        return Err(WireError::BadCrc { stored, computed });
+    }
+    Ok(())
+}
+
+/// Decode one frame from a complete buffer: returns the payload slice and
+/// the total bytes consumed. Typed errors for every malformation.
+pub fn decode_frame(buf: &[u8]) -> Result<(&[u8], usize), WireError> {
+    if buf.len() < HEADER_LEN {
+        return Err(WireError::Truncated { have: buf.len(), need: HEADER_LEN });
+    }
+    let mut header = [0u8; HEADER_LEN];
+    header.copy_from_slice(&buf[..HEADER_LEN]);
+    let (len, crc) = parse_header(&header)?;
+    let need = HEADER_LEN + len;
+    if buf.len() < need {
+        return Err(WireError::Truncated { have: buf.len(), need });
+    }
+    let payload = &buf[HEADER_LEN..need];
+    check_crc(payload, crc)?;
+    Ok((payload, need))
+}
+
+// ------------------------------------------------------------- messages
+
+/// A client-to-server request: the RSP's four RPCs plus a liveness probe.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Authenticated blind-token issuance (§4.2 rate limiting): the mint
+    /// sees the device and a blinded message, never the token itself.
+    IssueToken {
+        /// The requesting device (issuance is authenticated).
+        device: DeviceId,
+        /// The blinded token digest to sign.
+        blinded: BlindedMessage,
+        /// Simulated request time (drives the rate window).
+        now: Timestamp,
+    },
+    /// Anonymous history upload. Update-only by design: no RPC retrieves
+    /// an individual record back out.
+    Upload {
+        /// The anonymous upload (record id, interaction, spend token).
+        upload: UploadRequest,
+        /// Simulated delivery time (mix exit).
+        now: Timestamp,
+    },
+    /// Fetch the published aggregate for one entity (the §4.2 egress).
+    FetchAggregate {
+        /// The entity.
+        entity: EntityId,
+    },
+    /// Ranked search over a zipcode + category.
+    Search {
+        /// The query.
+        query: SearchQuery,
+    },
+}
+
+/// A server-to-client response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Liveness reply.
+    Pong,
+    /// The blind signature over the requested message.
+    TokenIssued {
+        /// Signature to unblind client-side.
+        signature: BlindSignature,
+    },
+    /// Issuance refused (per-device rate limit exhausted).
+    TokenDenied {
+        /// Human-readable refusal.
+        reason: String,
+    },
+    /// Upload accepted and stored.
+    UploadAccepted,
+    /// Upload refused by admission checks.
+    UploadRejected {
+        /// Which check failed.
+        reason: RejectReason,
+    },
+    /// The entity's aggregate, or `None` below the k-anonymity floor.
+    Aggregate {
+        /// The aggregate, if published.
+        aggregate: Option<EntityAggregate>,
+    },
+    /// Ranked search results.
+    SearchResults {
+        /// Hits, best first.
+        hits: Vec<SearchHit>,
+    },
+    /// Explicit load shed: the accept queue is full. Never silent — a
+    /// shed connection always receives this frame before close.
+    Busy,
+    /// The server could not process the request (decode failure or
+    /// internal error), reported rather than dropped.
+    Error {
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+/// One search result on the wire: the ranked entity with both opinion
+/// summaries flattened.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchHit {
+    /// The entity.
+    pub entity: EntityId,
+    /// Blended ranking score.
+    pub score: f64,
+    /// Histogram of explicit review stars.
+    pub explicit: StarHistogram,
+    /// Histogram of inferred opinion stars.
+    pub inferred: StarHistogram,
+    /// Anonymous histories behind the inferences.
+    pub histories: u64,
+    /// Fraction of histories with repeat interactions.
+    pub repeat_fraction: f64,
+}
+
+// Request tags.
+const T_PING: u8 = 0x01;
+const T_ISSUE: u8 = 0x02;
+const T_UPLOAD: u8 = 0x03;
+const T_AGGREGATE: u8 = 0x04;
+const T_SEARCH: u8 = 0x05;
+// Response tags (high bit set).
+const T_PONG: u8 = 0x81;
+const T_ISSUED: u8 = 0x82;
+const T_DENIED: u8 = 0x83;
+const T_UP_OK: u8 = 0x84;
+const T_UP_REJ: u8 = 0x85;
+const T_AGG: u8 = 0x86;
+const T_RESULTS: u8 = 0x87;
+const T_BUSY: u8 = 0x88;
+const T_ERROR: u8 = 0x89;
+
+impl Request {
+    /// Encode into a complete frame.
+    pub fn encode(&self) -> Vec<u8> {
+        frame(&self.encode_payload())
+    }
+
+    /// Decode from a buffer holding exactly one frame.
+    pub fn decode(buf: &[u8]) -> Result<Request, WireError> {
+        let (payload, consumed) = decode_frame(buf)?;
+        if consumed != buf.len() {
+            return Err(WireError::Malformed("trailing bytes after frame"));
+        }
+        Request::decode_payload(payload)
+    }
+
+    /// Encode the payload (tag + body), unframed.
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(96);
+        match self {
+            Request::Ping => buf.put_u8(T_PING),
+            Request::IssueToken { device, blinded, now } => {
+                buf.put_u8(T_ISSUE);
+                buf.put_u64_le(device.raw());
+                put_biguint(&mut buf, &blinded.0);
+                buf.put_i64_le(now.as_seconds());
+            }
+            Request::Upload { upload, now } => {
+                buf.put_u8(T_UPLOAD);
+                put_upload(&mut buf, upload);
+                buf.put_i64_le(now.as_seconds());
+            }
+            Request::FetchAggregate { entity } => {
+                buf.put_u8(T_AGGREGATE);
+                buf.put_u64_le(entity.raw());
+            }
+            Request::Search { query } => {
+                buf.put_u8(T_SEARCH);
+                buf.put_u32_le(query.zipcode);
+                buf.put_u16_le(query.category.stable_index() as u16);
+            }
+        }
+        buf.freeze().to_vec()
+    }
+
+    /// Decode a payload (tag + body). Consumes the whole buffer.
+    pub fn decode_payload(payload: &[u8]) -> Result<Request, WireError> {
+        let mut r = Reader::new(payload);
+        let request = match r.u8()? {
+            T_PING => Request::Ping,
+            T_ISSUE => Request::IssueToken {
+                device: DeviceId::new(r.u64()?),
+                blinded: BlindedMessage(r.biguint()?),
+                now: Timestamp::from_seconds(r.i64()?),
+            },
+            T_UPLOAD => Request::Upload {
+                upload: r.upload()?,
+                now: Timestamp::from_seconds(r.i64()?),
+            },
+            T_AGGREGATE => Request::FetchAggregate { entity: EntityId::new(r.u64()?) },
+            T_SEARCH => Request::Search {
+                query: SearchQuery { zipcode: r.u32()?, category: r.category()? },
+            },
+            _ => return Err(WireError::Malformed("unknown request tag")),
+        };
+        r.finish()?;
+        Ok(request)
+    }
+}
+
+impl Response {
+    /// Encode into a complete frame.
+    pub fn encode(&self) -> Vec<u8> {
+        frame(&self.encode_payload())
+    }
+
+    /// Decode from a buffer holding exactly one frame.
+    pub fn decode(buf: &[u8]) -> Result<Response, WireError> {
+        let (payload, consumed) = decode_frame(buf)?;
+        if consumed != buf.len() {
+            return Err(WireError::Malformed("trailing bytes after frame"));
+        }
+        Response::decode_payload(payload)
+    }
+
+    /// Encode the payload (tag + body), unframed.
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(96);
+        match self {
+            Response::Pong => buf.put_u8(T_PONG),
+            Response::TokenIssued { signature } => {
+                buf.put_u8(T_ISSUED);
+                put_biguint(&mut buf, &signature.0);
+            }
+            Response::TokenDenied { reason } => {
+                buf.put_u8(T_DENIED);
+                put_string(&mut buf, reason);
+            }
+            Response::UploadAccepted => buf.put_u8(T_UP_OK),
+            Response::UploadRejected { reason } => {
+                buf.put_u8(T_UP_REJ);
+                buf.put_u8(reject_to_u8(*reason));
+            }
+            Response::Aggregate { aggregate } => {
+                buf.put_u8(T_AGG);
+                match aggregate {
+                    None => buf.put_u8(0),
+                    Some(agg) => {
+                        buf.put_u8(1);
+                        put_aggregate(&mut buf, agg);
+                    }
+                }
+            }
+            Response::SearchResults { hits } => {
+                buf.put_u8(T_RESULTS);
+                buf.put_u16_le(hits.len() as u16);
+                for hit in hits {
+                    buf.put_u64_le(hit.entity.raw());
+                    buf.put_f64_le(hit.score);
+                    put_histogram(&mut buf, &hit.explicit);
+                    put_histogram(&mut buf, &hit.inferred);
+                    buf.put_u64_le(hit.histories);
+                    buf.put_f64_le(hit.repeat_fraction);
+                }
+            }
+            Response::Busy => buf.put_u8(T_BUSY),
+            Response::Error { detail } => {
+                buf.put_u8(T_ERROR);
+                put_string(&mut buf, detail);
+            }
+        }
+        buf.freeze().to_vec()
+    }
+
+    /// Decode a payload (tag + body). Consumes the whole buffer.
+    pub fn decode_payload(payload: &[u8]) -> Result<Response, WireError> {
+        let mut r = Reader::new(payload);
+        let response = match r.u8()? {
+            T_PONG => Response::Pong,
+            T_ISSUED => Response::TokenIssued { signature: BlindSignature(r.biguint()?) },
+            T_DENIED => Response::TokenDenied { reason: r.string()? },
+            T_UP_OK => Response::UploadAccepted,
+            T_UP_REJ => Response::UploadRejected { reason: reject_from_u8(r.u8()?)? },
+            T_AGG => {
+                let aggregate = match r.u8()? {
+                    0 => None,
+                    1 => Some(r.aggregate()?),
+                    _ => return Err(WireError::Malformed("bad option flag")),
+                };
+                Response::Aggregate { aggregate }
+            }
+            T_RESULTS => {
+                let n = r.u16()? as usize;
+                let mut hits = Vec::with_capacity(n.min(r.remaining() / 8 + 1));
+                for _ in 0..n {
+                    hits.push(SearchHit {
+                        entity: EntityId::new(r.u64()?),
+                        score: r.f64()?,
+                        explicit: r.histogram()?,
+                        inferred: r.histogram()?,
+                        histories: r.u64()?,
+                        repeat_fraction: r.f64()?,
+                    });
+                }
+                Response::SearchResults { hits }
+            }
+            T_BUSY => Response::Busy,
+            T_ERROR => Response::Error { detail: r.string()? },
+            _ => return Err(WireError::Malformed("unknown response tag")),
+        };
+        r.finish()?;
+        Ok(response)
+    }
+}
+
+// --------------------------------------------------- composite encoders
+
+fn put_biguint(buf: &mut BytesMut, v: &BigUint) {
+    let bytes = v.to_bytes_be();
+    debug_assert!(bytes.len() <= u16::MAX as usize);
+    buf.put_u16_le(bytes.len() as u16);
+    buf.put_slice(&bytes);
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    let bytes = s.as_bytes();
+    let len = bytes.len().min(u16::MAX as usize);
+    buf.put_u16_le(len as u16);
+    buf.put_slice(&bytes[..len]);
+}
+
+fn put_upload(buf: &mut BytesMut, upload: &UploadRequest) {
+    buf.put_slice(upload.record_id.as_bytes());
+    buf.put_u64_le(upload.entity.raw());
+    put_interaction(buf, &upload.interaction);
+    buf.put_slice(&upload.token.message);
+    put_biguint(buf, &upload.token.signature);
+    buf.put_i64_le(upload.release_at.as_seconds());
+}
+
+// Same field layout as the server WAL's interaction payload.
+fn put_interaction(buf: &mut BytesMut, i: &Interaction) {
+    buf.put_u8(kind_to_u8(i.kind));
+    buf.put_i64_le(i.start.as_seconds());
+    buf.put_i64_le(i.duration.as_seconds());
+    buf.put_f64_le(i.distance_travelled_m);
+    buf.put_u16_le(i.group_size);
+}
+
+fn put_histogram(buf: &mut BytesMut, h: &StarHistogram) {
+    for count in h.counts() {
+        buf.put_u64_le(count);
+    }
+}
+
+fn put_aggregate(buf: &mut BytesMut, agg: &EntityAggregate) {
+    buf.put_u64_le(agg.entity.raw());
+    buf.put_u64_le(agg.histories as u64);
+    buf.put_u64_le(agg.interactions as u64);
+    buf.put_f64_le(agg.mean_dwell_min);
+    buf.put_f64_le(agg.repeat_fraction);
+    buf.put_u16_le(agg.visits_per_user.len() as u16);
+    for &v in &agg.visits_per_user {
+        buf.put_u64_le(v as u64);
+    }
+    buf.put_u32_le(agg.effort_points.len() as u32);
+    for &(count, dist) in &agg.effort_points {
+        buf.put_u64_le(count as u64);
+        buf.put_f64_le(dist);
+    }
+}
+
+fn kind_to_u8(kind: InteractionKind) -> u8 {
+    match kind {
+        InteractionKind::Visit => 0,
+        InteractionKind::PhoneCall => 1,
+        InteractionKind::Payment => 2,
+        InteractionKind::OnlineUse => 3,
+    }
+}
+
+fn kind_from_u8(v: u8) -> Option<InteractionKind> {
+    Some(match v {
+        0 => InteractionKind::Visit,
+        1 => InteractionKind::PhoneCall,
+        2 => InteractionKind::Payment,
+        3 => InteractionKind::OnlineUse,
+        _ => return None,
+    })
+}
+
+fn reject_to_u8(reason: RejectReason) -> u8 {
+    match reason {
+        RejectReason::BadToken => 0,
+        RejectReason::DoubleSpend => 1,
+        RejectReason::BadRecord => 2,
+        RejectReason::EntityMismatch => 3,
+    }
+}
+
+fn reject_from_u8(v: u8) -> Result<RejectReason, WireError> {
+    Ok(match v {
+        0 => RejectReason::BadToken,
+        1 => RejectReason::DoubleSpend,
+        2 => RejectReason::BadRecord,
+        3 => RejectReason::EntityMismatch,
+        _ => return Err(WireError::Malformed("unknown reject reason")),
+    })
+}
+
+// ------------------------------------------------------ checked decoder
+
+/// Bounds-checked cursor over a payload. Every read that would run past
+/// the end returns a typed error; the `bytes` shim's `Buf` panics on
+/// short input, so hostile payloads go through this instead.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() < n {
+            return Err(WireError::Malformed("payload too short"));
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn finish(&self) -> Result<(), WireError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed("trailing bytes in payload"))
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(self.u64()? as i64)
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn biguint(&mut self) -> Result<BigUint, WireError> {
+        let len = self.u16()? as usize;
+        Ok(BigUint::from_bytes_be(self.take(len)?))
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed("invalid utf-8"))
+    }
+
+    fn record_id(&mut self) -> Result<RecordId, WireError> {
+        let b = self.take(32)?;
+        let mut id = [0u8; 32];
+        id.copy_from_slice(b);
+        Ok(RecordId::from_bytes(id))
+    }
+
+    fn category(&mut self) -> Result<Category, WireError> {
+        let index = self.u16()? as usize;
+        Category::from_stable_index(index).ok_or(WireError::Malformed("unknown category"))
+    }
+
+    fn interaction(&mut self) -> Result<Interaction, WireError> {
+        let kind = kind_from_u8(self.u8()?)
+            .ok_or(WireError::Malformed("unknown interaction kind"))?;
+        Ok(Interaction {
+            kind,
+            start: Timestamp::from_seconds(self.i64()?),
+            duration: SimDuration::seconds(self.i64()?),
+            distance_travelled_m: self.f64()?,
+            group_size: self.u16()?,
+        })
+    }
+
+    fn upload(&mut self) -> Result<UploadRequest, WireError> {
+        let record_id = self.record_id()?;
+        let entity = EntityId::new(self.u64()?);
+        let interaction = self.interaction()?;
+        let message_bytes = self.take(32)?;
+        let mut message = [0u8; 32];
+        message.copy_from_slice(message_bytes);
+        let signature = self.biguint()?;
+        let release_at = Timestamp::from_seconds(self.i64()?);
+        Ok(UploadRequest {
+            record_id,
+            entity,
+            interaction,
+            token: Token { message, signature },
+            release_at,
+        })
+    }
+
+    fn histogram(&mut self) -> Result<StarHistogram, WireError> {
+        let mut counts = [0u64; 6];
+        for slot in &mut counts {
+            *slot = self.u64()?;
+        }
+        Ok(StarHistogram::from_counts(counts))
+    }
+
+    fn aggregate(&mut self) -> Result<EntityAggregate, WireError> {
+        let entity = EntityId::new(self.u64()?);
+        let histories = self.u64()? as usize;
+        let interactions = self.u64()? as usize;
+        let mean_dwell_min = self.f64()?;
+        let repeat_fraction = self.f64()?;
+        let visits_len = self.u16()? as usize;
+        if visits_len * 8 > self.remaining() {
+            return Err(WireError::Malformed("visits length exceeds payload"));
+        }
+        let mut visits_per_user = Vec::with_capacity(visits_len);
+        for _ in 0..visits_len {
+            visits_per_user.push(self.u64()? as usize);
+        }
+        let points_len = self.u32()? as usize;
+        if points_len.saturating_mul(16) > self.remaining() {
+            return Err(WireError::Malformed("effort length exceeds payload"));
+        }
+        let mut effort_points = Vec::with_capacity(points_len);
+        for _ in 0..points_len {
+            let count = self.u64()? as usize;
+            let dist = self.f64()?;
+            effort_points.push((count, dist));
+        }
+        Ok(EntityAggregate {
+            entity,
+            histories,
+            interactions,
+            visits_per_user,
+            effort_points,
+            mean_dwell_min,
+            repeat_fraction,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let framed = frame(b"payload");
+        let (payload, consumed) = decode_frame(&framed).unwrap();
+        assert_eq!(payload, b"payload");
+        assert_eq!(consumed, framed.len());
+    }
+
+    #[test]
+    fn truncated_header_is_typed() {
+        let framed = frame(b"hello");
+        for cut in 0..HEADER_LEN {
+            assert!(matches!(
+                decode_frame(&framed[..cut]),
+                Err(WireError::Truncated { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn truncated_payload_is_typed() {
+        let framed = frame(b"hello");
+        assert!(matches!(
+            decode_frame(&framed[..framed.len() - 1]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_crc_is_typed() {
+        let mut framed = frame(b"hello");
+        let last = framed.len() - 1;
+        framed[last] ^= 0xFF;
+        assert!(matches!(decode_frame(&framed), Err(WireError::BadCrc { .. })));
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let mut framed = frame(b"x");
+        framed[5..9].copy_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(matches!(decode_frame(&framed), Err(WireError::Oversized { .. })));
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed() {
+        let mut framed = frame(b"x");
+        framed[0] = b'X';
+        assert!(matches!(decode_frame(&framed), Err(WireError::BadMagic(_))));
+        let mut framed = frame(b"x");
+        framed[4] = 99;
+        assert!(matches!(decode_frame(&framed), Err(WireError::BadVersion(99))));
+    }
+
+    #[test]
+    fn simple_messages_round_trip() {
+        for req in [
+            Request::Ping,
+            Request::FetchAggregate { entity: EntityId::new(42) },
+            Request::Search {
+                query: SearchQuery {
+                    zipcode: 30332,
+                    category: Category::from_stable_index(2).unwrap(),
+                },
+            },
+        ] {
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+        for resp in [
+            Response::Pong,
+            Response::UploadAccepted,
+            Response::Busy,
+            Response::TokenDenied { reason: "rate limited".into() },
+            Response::UploadRejected { reason: RejectReason::DoubleSpend },
+            Response::Aggregate { aggregate: None },
+            Response::Error { detail: "bad".into() },
+        ] {
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_typed() {
+        let framed = frame(&[0x7F]);
+        assert_eq!(
+            Request::decode(&framed),
+            Err(WireError::Malformed("unknown request tag"))
+        );
+        assert_eq!(
+            Response::decode(&framed),
+            Err(WireError::Malformed("unknown response tag"))
+        );
+    }
+
+    #[test]
+    fn trailing_payload_bytes_are_rejected() {
+        let mut payload = Request::Ping.encode_payload();
+        payload.push(0);
+        assert_eq!(
+            Request::decode_payload(&payload),
+            Err(WireError::Malformed("trailing bytes in payload"))
+        );
+    }
+
+    #[test]
+    fn hostile_aggregate_lengths_do_not_allocate() {
+        // An aggregate claiming 4 billion effort points in a tiny payload
+        // must fail cleanly instead of allocating.
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u8(T_AGG);
+        buf.put_u8(1);
+        buf.put_u64_le(1); // entity
+        buf.put_u64_le(0); // histories
+        buf.put_u64_le(0); // interactions
+        buf.put_f64_le(0.0);
+        buf.put_f64_le(0.0);
+        buf.put_u16_le(0); // visits
+        buf.put_u32_le(u32::MAX); // effort points: hostile
+        let framed = frame(&buf.freeze().to_vec());
+        assert_eq!(
+            Response::decode(&framed),
+            Err(WireError::Malformed("effort length exceeds payload"))
+        );
+    }
+}

@@ -268,6 +268,19 @@ impl Category {
             Category::Video => 301,
         }
     }
+
+    /// Inverse of [`Self::stable_index`]: decode a category from its
+    /// stable index (e.g. off a wire message). `None` for indices that
+    /// no category maps to.
+    pub fn from_stable_index(index: usize) -> Option<Category> {
+        match index {
+            300 => Some(Category::App),
+            301 => Some(Category::Video),
+            i if i >= 200 => Trade::ALL.get(i - 200).map(|t| Category::ServiceProvider(*t)),
+            i if i >= 100 => Specialty::ALL.get(i - 100).map(|s| Category::Doctor(*s)),
+            i => Cuisine::ALL.get(i).map(|c| Category::Restaurant(*c)),
+        }
+    }
 }
 
 impl fmt::Display for Category {
@@ -295,6 +308,19 @@ mod tests {
         assert_eq!(ServiceKind::Yelp.category_count(), 9);
         assert_eq!(ServiceKind::AngiesList.category_count(), 24);
         assert_eq!(ServiceKind::Healthgrades.category_count(), 4);
+    }
+
+    #[test]
+    fn stable_index_round_trips() {
+        let mut all = Category::all_physical();
+        all.push(Category::App);
+        all.push(Category::Video);
+        for cat in all {
+            assert_eq!(Category::from_stable_index(cat.stable_index()), Some(cat));
+        }
+        assert_eq!(Category::from_stable_index(99), None);
+        assert_eq!(Category::from_stable_index(302), None);
+        assert_eq!(Category::from_stable_index(usize::MAX), None);
     }
 
     #[test]

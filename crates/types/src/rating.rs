@@ -134,6 +134,17 @@ impl StarHistogram {
     pub fn iter(&self) -> impl Iterator<Item = (u8, u64)> + '_ {
         self.counts.iter().enumerate().map(|(s, &n)| (s as u8, n))
     }
+
+    /// The raw per-star counts (index = stars), e.g. for wire encoding.
+    pub fn counts(&self) -> [u64; 6] {
+        self.counts
+    }
+
+    /// Rebuild a histogram from raw per-star counts (the inverse of
+    /// [`Self::counts`], e.g. off a wire message).
+    pub fn from_counts(counts: [u64; 6]) -> Self {
+        StarHistogram { counts }
+    }
 }
 
 impl fmt::Display for StarHistogram {

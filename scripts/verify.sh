@@ -7,8 +7,16 @@ cd "$(dirname "$0")/.."
 echo "== cargo build --release =="
 cargo build --workspace --release
 
+echo "== orsp-net builds clean under -D warnings =="
+RUSTFLAGS="-D warnings" cargo build --release -p orsp-net
+
 echo "== cargo test -q =="
 cargo test -q --workspace
+
+echo "== net test suites (codec proptests, TCP integration, end-to-end digest) =="
+cargo test -q --release -p orsp-net --test wire_proptests
+cargo test -q --release -p orsp-net --test tcp_roundtrip
+cargo test -q --release -p orsp-core --test net_end_to_end
 
 # Formatting is advisory: rustfmt may be absent in minimal toolchains.
 if command -v rustfmt >/dev/null 2>&1; then
