@@ -1,0 +1,230 @@
+//! Observability overhead — what the metrics layer costs on the hot path.
+//!
+//! Two measurements:
+//!
+//! 1. **Primitive costs**: ns/op for a counter increment, a histogram
+//!    record, and a full span (clock read + record on drop), measured in
+//!    a tight loop. These bound what any instrumented call can lose.
+//! 2. **End-to-end A/B**: the same closed-loop RPC mix as
+//!    `net_throughput`, alternating reps with the service registry's
+//!    span/event layer enabled and disabled (`Registry::set_enabled`) in
+//!    one process, interleaved so thermal and cache drift hits both arms
+//!    equally. Counters stay on in both arms — they are always-on by
+//!    design — so the A/B isolates exactly the optional timing layer.
+//!
+//! The acceptance gate: best-of enabled throughput within 3% of best-of
+//! disabled. Writes `results/BENCH_obs_overhead.json`.
+//!
+//! ```sh
+//! cargo run --release -p orsp-bench --bin obs_overhead
+//! cargo run --release -p orsp-bench --bin obs_overhead -- --clients 2 --seconds 2 --reps 3
+//! ```
+
+use orsp_bench::{arg_u64, f, header, seed_from_args};
+use orsp_core::{serve, PipelineConfig};
+use orsp_net::{ClientConfig, NetClient, ServerConfig};
+use orsp_obs::Registry;
+use orsp_search::SearchQuery;
+use orsp_types::rng::rng_for_indexed;
+use orsp_types::{Category, SimDuration};
+use orsp_world::{World, WorldConfig};
+use rand::Rng;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let seed = seed_from_args();
+    let clients = arg_u64("clients", 2) as usize;
+    let seconds = arg_u64("seconds", 2);
+    let reps = arg_u64("reps", 3);
+    header("OBS", "observability overhead: primitive costs + enabled/disabled A/B");
+
+    println!("\n-- primitive costs (tight loop, 1M ops) --");
+    let (counter_ns, histogram_ns, span_ns) = primitive_costs();
+    println!("counter.inc      {counter_ns:>6.1} ns/op");
+    println!("histogram.record {histogram_ns:>6.1} ns/op");
+    println!("span (timed)     {span_ns:>6.1} ns/op");
+
+    let world = World::generate(WorldConfig {
+        users_per_zipcode: 30,
+        horizon: SimDuration::days(60),
+        ..WorldConfig::tiny(seed)
+    })
+    .unwrap();
+    let config = PipelineConfig::default();
+    let server_config = ServerConfig {
+        workers: clients + 2,
+        queue_depth: 64,
+        read_timeout: Duration::from_secs(5),
+        write_timeout: Duration::from_secs(5),
+    };
+    let (server, service) = serve(&world, &config, "127.0.0.1:0", server_config).expect("bind");
+    let addr = server.local_addr();
+    println!(
+        "\nserver: {addr} — {} workers, {} listings indexed",
+        server_config.workers,
+        world.entities.len()
+    );
+
+    // Interleave the arms: off, on, off, on, ... so drift is shared.
+    println!("\n-- A/B: {reps} reps x {seconds}s per arm, {clients} clients, interleaved --");
+    let mut best_off = 0.0f64;
+    let mut best_on = 0.0f64;
+    let zipcodes: Vec<u32> = world.zipcodes.iter().map(|z| z.code).collect();
+    let entities: Vec<_> = world.entities.iter().map(|e| e.id).collect();
+    for rep in 0..reps {
+        service.obs().set_enabled(false);
+        let off = run_phase(addr, clients, seconds, seed + rep * 2, &zipcodes, &entities);
+        service.obs().set_enabled(true);
+        let on = run_phase(addr, clients, seconds, seed + rep * 2 + 1, &zipcodes, &entities);
+        println!(
+            "rep {rep}: disabled {} req/s   enabled {} req/s",
+            f(off),
+            f(on)
+        );
+        best_off = best_off.max(off);
+        best_on = best_on.max(on);
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.protocol_errors, 0, "load generator must speak clean protocol");
+
+    let overhead_pct = if best_off > 0.0 {
+        (best_off - best_on) / best_off * 100.0
+    } else {
+        0.0
+    };
+    let pass = overhead_pct < 3.0;
+    println!(
+        "\nbest disabled {} req/s, best enabled {} req/s -> overhead {:.2}% (target < 3%: {})",
+        f(best_off),
+        f(best_on),
+        overhead_pct,
+        if pass { "PASS" } else { "FAIL" }
+    );
+
+    write_json(
+        seed, clients, seconds, reps, counter_ns, histogram_ns, span_ns, best_off, best_on,
+        overhead_pct, pass,
+    );
+}
+
+/// ns/op for the three registry primitives, over 1M iterations each.
+fn primitive_costs() -> (f64, f64, f64) {
+    const N: u64 = 1_000_000;
+    let registry = Registry::new();
+    let counter = registry.counter("bench_total");
+    let histogram = registry.histogram("bench_us");
+
+    let t0 = Instant::now();
+    for _ in 0..N {
+        counter.inc();
+    }
+    let counter_ns = t0.elapsed().as_nanos() as f64 / N as f64;
+
+    let t0 = Instant::now();
+    for i in 0..N {
+        histogram.record(i % 4096);
+    }
+    let histogram_ns = t0.elapsed().as_nanos() as f64 / N as f64;
+
+    let t0 = Instant::now();
+    for _ in 0..N {
+        registry.span_into(&histogram).end();
+    }
+    let span_ns = t0.elapsed().as_nanos() as f64 / N as f64;
+
+    (counter_ns, histogram_ns, span_ns)
+}
+
+/// One closed-loop phase over the cheap RPC mix (ping / search /
+/// aggregate). Deliberately excludes the RSA-heavy token issue: cheap
+/// requests maximise the *relative* cost of instrumentation, making this
+/// a conservative (harsh) overhead measurement. Returns req/s.
+fn run_phase(
+    addr: SocketAddr,
+    clients: usize,
+    seconds: u64,
+    seed: u64,
+    zipcodes: &[u32],
+    entities: &[orsp_types::EntityId],
+) -> f64 {
+    let deadline = Duration::from_secs(seconds);
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|thread| {
+            let zipcodes = zipcodes.to_vec();
+            let entities = entities.to_vec();
+            std::thread::spawn(move || {
+                let mut rng = rng_for_indexed(seed, "obs-bench", thread as u64);
+                let mut client =
+                    NetClient::connect(addr, ClientConfig::default()).expect("connect");
+                client.ping().expect("warmup ping");
+                let categories = Category::all_physical();
+                let begin = Instant::now();
+                let mut done = 0u64;
+                let mut i = 0u64;
+                while begin.elapsed() < deadline {
+                    let ok = match i % 4 {
+                        0 => client.ping().is_ok(),
+                        1 => client
+                            .fetch_aggregate(entities[rng.gen_range(0..entities.len())])
+                            .is_ok(),
+                        _ => client
+                            .search(SearchQuery {
+                                zipcode: zipcodes[rng.gen_range(0..zipcodes.len())],
+                                category: categories[rng.gen_range(0..categories.len())],
+                            })
+                            .is_ok(),
+                    };
+                    if ok {
+                        done += 1;
+                    }
+                    i += 1;
+                }
+                done
+            })
+        })
+        .collect();
+    let total: u64 = handles.into_iter().map(|h| h.join().expect("bench worker")).sum();
+    total as f64 / started.elapsed().as_secs_f64()
+}
+
+/// Hand-rolled JSON (the workspace has no serde_json): flat and stable.
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    seed: u64,
+    clients: usize,
+    seconds: u64,
+    reps: u64,
+    counter_ns: f64,
+    histogram_ns: f64,
+    span_ns: f64,
+    best_off: f64,
+    best_on: f64,
+    overhead_pct: f64,
+    pass: bool,
+) {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"obs_overhead\",\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"clients\": {clients},\n"));
+    out.push_str(&format!("  \"seconds_per_arm\": {seconds},\n"));
+    out.push_str(&format!("  \"reps\": {reps},\n"));
+    out.push_str(&format!(
+        "  \"primitives_ns\": {{\"counter_inc\": {counter_ns:.1}, \
+         \"histogram_record\": {histogram_ns:.1}, \"span\": {span_ns:.1}}},\n"
+    ));
+    out.push_str(&format!(
+        "  \"closed_loop_rps\": {{\"disabled\": {best_off:.1}, \"enabled\": {best_on:.1}}},\n"
+    ));
+    out.push_str(&format!("  \"overhead_pct\": {overhead_pct:.2},\n"));
+    out.push_str(&format!("  \"overhead_below_3pct\": {pass}\n"));
+    out.push_str("}\n");
+
+    let path = "results/BENCH_obs_overhead.json";
+    match std::fs::write(path, &out) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => println!("could not write {path}: {e}"),
+    }
+}

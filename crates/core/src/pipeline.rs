@@ -220,6 +220,8 @@ impl RspPipeline {
     /// secret, upload deferrals, channel salt), and per-user results are
     /// merged in user order regardless of which worker produced them.
     pub fn run(&self, world: &World) -> PipelineOutcome {
+        let obs = orsp_obs::global();
+        let _run_span = obs.span("pipeline_run_us");
         let cfg = &self.config;
         let threads = self.threads();
         let mut rng = rng_for(world.config.seed, "pipeline");
@@ -256,11 +258,16 @@ impl RspPipeline {
         mint_public: &RsaPublicKey,
         make_issuer: &(impl Fn() -> M + Sync),
     ) -> FrontHalf {
+        let obs = orsp_obs::global();
         let cfg = &self.config;
         let threads = self.threads();
         let end = Timestamp::EPOCH + world.config.horizon;
 
         // ---- Client stage: per-device processing, in parallel. -------
+        // Instrumentation rule (DESIGN §7): spans and counters are
+        // write-only — nothing here reads a metric or the wall clock back
+        // into the computation, so digests stay bit-identical.
+        let client_span = obs.span("pipeline_client_us");
         let energy_model = EnergyModel::default();
         let run_user = |user: &orsp_world::User| -> Option<ClientOutput> {
             let mut rng = rng_for_indexed(world.config.seed, "client", user.id.raw());
@@ -335,8 +342,10 @@ impl RspPipeline {
             in_flight.extend(output.uploads);
             user_views.push(output.view);
         }
+        client_span.end();
 
         // ---- Network stage: the batch mix in time order. -------------
+        let mix_span = obs.span("pipeline_mix_us");
         in_flight.sort_by_key(|(t, u)| (*t, u.request.entity.raw()));
         let mut mix = BatchMix::new(cfg.mix, world.config.seed);
         let mut deliveries: Vec<(Timestamp, orsp_client::UploadRequest)> =
@@ -367,6 +376,8 @@ impl RspPipeline {
         }
         let rest = mix.drain();
         deliver(rest, end, &mut deliveries, &mut observer);
+        mix_span.end();
+        obs.counter("pipeline_uploads_mixed_total").add(deliveries.len() as u64);
 
         FrontHalf { observer, record_owner, user_views, deliveries }
     }
@@ -382,11 +393,15 @@ impl RspPipeline {
         mut ingest: IngestService,
         tokens_issued: u64,
     ) -> PipelineOutcome {
+        let obs = orsp_obs::global();
         let cfg = &self.config;
         let FrontHalf { observer, record_owner, user_views, deliveries: _ } = front;
         let uploads_delivered = ingest.stats().accepted;
+        obs.counter("pipeline_tokens_issued_total").add(tokens_issued);
+        obs.counter("pipeline_uploads_delivered_total").add(uploads_delivered);
 
         // ---- Server analytics: profiles and fraud. --------------------
+        let analytics_span = obs.span("pipeline_analytics_us");
         let categories = category_map(world);
         let profiles = ProfileBuilder { entity_categories: &categories }.build(ingest.store());
         let mut detector = FraudDetector::new(profiles.clone());
@@ -410,8 +425,10 @@ impl RspPipeline {
             .filter(|(_, pair)| fraud_pairs.contains(pair))
             .map(|(rid, _)| *rid)
             .collect();
+        analytics_span.end();
 
         // ---- Inference stage. -----------------------------------------
+        let inference_span = obs.span("pipeline_inference_us");
         let flagged_set: HashSet<RecordId> = fraud_flagged.iter().copied().collect();
         let (dataset, test, inferred_histograms) = self.inference_stage(
             world,
@@ -423,6 +440,7 @@ impl RspPipeline {
         let eval = EvalReport::compute(&test.predictor_examples);
         let eval_baseline = EvalReport::compute(&test.baseline_examples);
         let eval_baseline_matched = EvalReport::compute(&test.baseline_matched);
+        inference_span.end();
 
         // ---- Explicit review histograms + coverage. --------------------
         let mut explicit_histograms: HashMap<EntityId, StarHistogram> = HashMap::new();

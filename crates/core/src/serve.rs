@@ -50,13 +50,23 @@ pub fn service_for_world(world: &World, config: &PipelineConfig) -> RspService {
     for review in &world.reviews {
         explicit.entry(review.entity).or_default().add(review.rating);
     }
-    RspService::new(
+    let service = RspService::new(
         mint,
         SearchIndex::build(listings(world)),
         explicit,
         Ranker::default(),
         ServiceConfig::default(),
-    )
+    );
+    // Publish the served world's shape as gauges so a `Stats` RPC (or a
+    // Prometheus scrape) reports what this daemon is serving, not just
+    // how fast.
+    let stats = world.stats();
+    let obs = service.obs();
+    obs.gauge("world_users").set(stats.users as i64);
+    obs.gauge("world_entities").set(stats.entities as i64);
+    obs.gauge("world_events").set(stats.events as i64);
+    obs.gauge("world_reviews").set(stats.reviews as i64);
+    service
 }
 
 /// Bind a TCP server for a world (use port 0 for an ephemeral port) and

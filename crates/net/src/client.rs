@@ -49,25 +49,57 @@ impl Default for ClientConfig {
     }
 }
 
+/// Cumulative client-side retry accounting: what the backoff loop saw
+/// and how long it slept. All counters are monotonic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Call attempts, including each first try.
+    pub attempts: u64,
+    /// Explicit `Busy` sheds received.
+    pub busy: u64,
+    /// Read/write deadline misses.
+    pub timeouts: u64,
+    /// Connections that dropped mid-exchange.
+    pub disconnects: u64,
+    /// Total time spent sleeping in backoff, in microseconds.
+    pub backoff_us: u64,
+    /// Calls that failed after exhausting every retry.
+    pub exhausted: u64,
+}
+
+impl RetryStats {
+    /// Backoff sleeps actually taken. Each retryable failure triggers
+    /// one, except the final failure of a call that exhausted its budget.
+    pub fn retries(&self) -> u64 {
+        (self.busy + self.timeouts + self.disconnects).saturating_sub(self.exhausted)
+    }
+}
+
 /// A blocking connection to an RSP server.
 pub struct NetClient {
     addr: SocketAddr,
     config: ClientConfig,
     stream: Option<TcpStream>,
-    retries: u64,
+    retry_stats: RetryStats,
 }
 
 impl NetClient {
     /// Connect to `addr` (eagerly, so configuration errors surface here).
     pub fn connect(addr: SocketAddr, config: ClientConfig) -> Result<NetClient, NetError> {
-        let mut client = NetClient { addr, config, stream: None, retries: 0 };
+        let mut client =
+            NetClient { addr, config, stream: None, retry_stats: RetryStats::default() };
         client.ensure_stream()?;
         Ok(client)
     }
 
     /// Total retry attempts this client has made (busy + timeout + drop).
     pub fn retries(&self) -> u64 {
-        self.retries
+        self.retry_stats.retries()
+    }
+
+    /// Full retry/backoff accounting.
+    pub fn retry_stats(&self) -> RetryStats {
+        self.retry_stats
     }
 
     fn ensure_stream(&mut self) -> Result<&mut TcpStream, NetError> {
@@ -101,15 +133,22 @@ impl NetClient {
         let frame = request.encode();
         let mut attempt: u32 = 0;
         loop {
+            self.retry_stats.attempts += 1;
             let failure = match self.call_once(&frame) {
                 Ok(Response::Busy) => NetError::Busy,
                 Ok(response) => return Ok(response),
                 Err(e) if e.is_retryable() => e,
                 Err(e) => return Err(e),
             };
+            match failure {
+                NetError::Busy => self.retry_stats.busy += 1,
+                NetError::Timeout => self.retry_stats.timeouts += 1,
+                _ => self.retry_stats.disconnects += 1,
+            }
             // Whatever happened, this connection is suspect: reconnect.
             self.stream = None;
             if attempt >= self.config.max_retries {
+                self.retry_stats.exhausted += 1;
                 return Err(failure);
             }
             let backoff = self
@@ -117,9 +156,9 @@ impl NetClient {
                 .backoff_base
                 .saturating_mul(1u32 << attempt.min(16))
                 .min(self.config.backoff_cap);
+            self.retry_stats.backoff_us += backoff.as_micros() as u64;
             std::thread::sleep(backoff);
             attempt += 1;
-            self.retries += 1;
         }
     }
 
@@ -179,6 +218,14 @@ impl NetClient {
             other => Err(unexpected(&other)),
         }
     }
+
+    /// Fetch the server's live metric snapshot.
+    pub fn stats(&mut self) -> Result<orsp_obs::StatsSnapshot, NetError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats { snapshot } => Ok(snapshot),
+            other => Err(unexpected(&other)),
+        }
+    }
 }
 
 fn unexpected(response: &Response) -> NetError {
@@ -204,6 +251,11 @@ impl TcpTransport {
     /// Total retries across all calls.
     pub fn retries(&self) -> u64 {
         self.client.lock().retries()
+    }
+
+    /// Full retry/backoff accounting for the underlying client.
+    pub fn retry_stats(&self) -> RetryStats {
+        self.client.lock().retry_stats()
     }
 }
 

@@ -32,6 +32,10 @@ pub enum WireError {
     },
     /// The frame is sound but the payload inside is not a valid message.
     Malformed(&'static str),
+    /// The payload's message tag is not one this endpoint knows. Split
+    /// from [`WireError::Malformed`] so the server can count version-skew
+    /// peers separately from garbage payloads.
+    UnknownTag(u8),
 }
 
 impl fmt::Display for WireError {
@@ -47,6 +51,7 @@ impl fmt::Display for WireError {
                 write!(f, "crc mismatch: header {stored:08x}, payload {computed:08x}")
             }
             WireError::Malformed(what) => write!(f, "malformed payload: {what}"),
+            WireError::UnknownTag(tag) => write!(f, "unknown message tag {tag:#04x}"),
         }
     }
 }

@@ -16,6 +16,11 @@
 //!   timeouts, and dropped connections.
 //! * [`transport`] — the [`Transport`] trait with a deterministic
 //!   in-memory implementation (tests) beside the TCP one (daemon, bench).
+//!
+//! Every service carries an `orsp-obs` registry: the router records
+//! per-RPC latency and outcome counters, the server its accept/shed and
+//! per-kind protocol-error counters. The whole registry is scrapeable
+//! in-process (`RspService::obs`) or over the wire via the `Stats` RPC.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,7 +33,7 @@ pub mod stream;
 pub mod transport;
 pub mod wire;
 
-pub use client::{ClientConfig, NetClient, TcpTransport};
+pub use client::{ClientConfig, NetClient, RetryStats, TcpTransport};
 pub use error::{NetError, WireError};
 pub use router::{RspService, ServiceConfig};
 pub use server::{NetServer, ServerConfig, ServerStats};

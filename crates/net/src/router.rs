@@ -10,13 +10,16 @@
 
 use crate::wire::{Request, Response, SearchHit};
 use orsp_crypto::TokenMint;
+use orsp_obs::{Counter, Histogram, Registry};
 use orsp_search::{InferredSummary, Ranker, ReviewSummary, SearchIndex};
 use orsp_server::{
-    AggregatePublisher, EntityAggregate, IngestService, IngestStats, MIN_AGGREGATE_SUPPORT,
+    AggregatePublisher, EntityAggregate, IngestService, IngestStats, RejectReason,
+    MIN_AGGREGATE_SUPPORT,
 };
 use orsp_types::{EntityId, StarHistogram};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Router tunables.
 #[derive(Debug, Clone, Copy)]
@@ -46,10 +49,59 @@ struct ServiceState {
     inferred: HashMap<EntityId, StarHistogram>,
 }
 
+/// Pre-resolved metric handles for the request hot path: one registry
+/// lock at construction, lock-free recording per RPC thereafter.
+struct RouterMetrics {
+    rpc_ping_us: Histogram,
+    rpc_issue_token_us: Histogram,
+    rpc_upload_us: Histogram,
+    rpc_fetch_aggregate_us: Histogram,
+    rpc_search_us: Histogram,
+    rpc_stats_us: Histogram,
+    mint_issued_total: Counter,
+    mint_denied_total: Counter,
+    ingest_accepted_total: Counter,
+    ingest_bad_token_total: Counter,
+    ingest_double_spend_total: Counter,
+    ingest_bad_record_total: Counter,
+    ingest_entity_mismatch_total: Counter,
+}
+
+impl RouterMetrics {
+    fn resolve(obs: &Registry) -> Self {
+        RouterMetrics {
+            rpc_ping_us: obs.histogram("rpc_ping_us"),
+            rpc_issue_token_us: obs.histogram("rpc_issue_token_us"),
+            rpc_upload_us: obs.histogram("rpc_upload_us"),
+            rpc_fetch_aggregate_us: obs.histogram("rpc_fetch_aggregate_us"),
+            rpc_search_us: obs.histogram("rpc_search_us"),
+            rpc_stats_us: obs.histogram("rpc_stats_us"),
+            mint_issued_total: obs.counter("mint_issued_total"),
+            mint_denied_total: obs.counter("mint_denied_total"),
+            ingest_accepted_total: obs.counter("ingest_accepted_total"),
+            ingest_bad_token_total: obs.counter("ingest_bad_token_total"),
+            ingest_double_spend_total: obs.counter("ingest_double_spend_total"),
+            ingest_bad_record_total: obs.counter("ingest_bad_record_total"),
+            ingest_entity_mismatch_total: obs.counter("ingest_entity_mismatch_total"),
+        }
+    }
+
+    fn reject_counter(&self, reason: RejectReason) -> &Counter {
+        match reason {
+            RejectReason::BadToken => &self.ingest_bad_token_total,
+            RejectReason::DoubleSpend => &self.ingest_double_spend_total,
+            RejectReason::BadRecord => &self.ingest_bad_record_total,
+            RejectReason::EntityMismatch => &self.ingest_entity_mismatch_total,
+        }
+    }
+}
+
 /// The wire-facing RSP service: every RPC lands here.
 pub struct RspService {
     state: Mutex<ServiceState>,
     config: ServiceConfig,
+    obs: Arc<Registry>,
+    metrics: RouterMetrics,
 }
 
 impl RspService {
@@ -63,6 +115,8 @@ impl RspService {
         ranker: Ranker,
         config: ServiceConfig,
     ) -> Self {
+        let obs = Arc::new(Registry::new());
+        let metrics = RouterMetrics::resolve(&obs);
         RspService {
             state: Mutex::new(ServiceState {
                 mint,
@@ -73,7 +127,16 @@ impl RspService {
                 inferred: HashMap::new(),
             }),
             config,
+            obs,
+            metrics,
         }
+    }
+
+    /// This service's metric registry. The `NetServer` fronting the
+    /// service records its accept/shed/protocol counters here too, so a
+    /// `Stats` RPC reports the whole daemon in one snapshot.
+    pub fn obs(&self) -> &Arc<Registry> {
+        &self.obs
     }
 
     /// Publish inferred-opinion histograms (e.g. after an inference pass)
@@ -82,22 +145,50 @@ impl RspService {
         self.state.lock().inferred = inferred;
     }
 
-    /// Handle one decoded request.
+    /// Handle one decoded request, recording per-RPC latency and outcome
+    /// counters into the service registry.
     pub fn handle(&self, request: Request) -> Response {
+        let hist = match &request {
+            Request::Ping => &self.metrics.rpc_ping_us,
+            Request::IssueToken { .. } => &self.metrics.rpc_issue_token_us,
+            Request::Upload { .. } => &self.metrics.rpc_upload_us,
+            Request::FetchAggregate { .. } => &self.metrics.rpc_fetch_aggregate_us,
+            Request::Search { .. } => &self.metrics.rpc_search_us,
+            Request::Stats => &self.metrics.rpc_stats_us,
+        };
+        let span = self.obs.span_into(hist);
+        let response = self.dispatch(request);
+        span.end();
+        response
+    }
+
+    fn dispatch(&self, request: Request) -> Response {
         match request {
             Request::Ping => Response::Pong,
             Request::IssueToken { device, blinded, now } => {
                 let mut state = self.state.lock();
                 match state.mint.issue(device, &blinded, now) {
-                    Ok(signature) => Response::TokenIssued { signature },
-                    Err(e) => Response::TokenDenied { reason: e.to_string() },
+                    Ok(signature) => {
+                        self.metrics.mint_issued_total.inc();
+                        Response::TokenIssued { signature }
+                    }
+                    Err(e) => {
+                        self.metrics.mint_denied_total.inc();
+                        Response::TokenDenied { reason: e.to_string() }
+                    }
                 }
             }
             Request::Upload { upload, now } => {
                 let state = &mut *self.state.lock();
                 match state.ingest.ingest(&upload, &mut state.mint, now) {
-                    Ok(()) => Response::UploadAccepted,
-                    Err(reason) => Response::UploadRejected { reason },
+                    Ok(()) => {
+                        self.metrics.ingest_accepted_total.inc();
+                        Response::UploadAccepted
+                    }
+                    Err(reason) => {
+                        self.metrics.reject_counter(reason).inc();
+                        Response::UploadRejected { reason }
+                    }
                 }
             }
             Request::FetchAggregate { entity } => {
@@ -148,6 +239,7 @@ impl RspService {
                         .collect(),
                 }
             }
+            Request::Stats => Response::Stats { snapshot: self.obs.snapshot() },
         }
     }
 

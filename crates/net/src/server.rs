@@ -10,14 +10,15 @@
 //! request each once the flag is up), in-flight responses complete, then
 //! workers exit.
 
-use crate::error::NetError;
+use crate::error::{NetError, WireError};
 use crate::router::RspService;
 use crate::stream::{read_message, write_message};
 use crate::wire::{Request, Response};
+use orsp_obs::{Counter, Registry};
 use parking_lot::Mutex;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -48,7 +49,9 @@ impl Default for ServerConfig {
     }
 }
 
-/// Monotonic counters, readable while the server runs.
+/// Monotonic counters, readable while the server runs. A typed view over
+/// the service registry (`RspService::obs`): the same values scrape as
+/// `net_*` series via the Prometheus/JSON exporters or the `Stats` RPC.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// Connections handed to a worker.
@@ -57,23 +60,93 @@ pub struct ServerStats {
     pub shed: u64,
     /// Requests decoded and dispatched.
     pub requests: u64,
-    /// Frames or payloads that failed to parse.
+    /// Frames or payloads that failed to parse (sum of the breakdown
+    /// below).
     pub protocol_errors: u64,
+    /// Frames cut short: a mid-frame disconnect or a header shorter than
+    /// its declared payload.
+    pub proto_truncated: u64,
+    /// Payload checksum mismatches.
+    pub proto_bad_crc: u64,
+    /// Declared payload lengths over the frame cap.
+    pub proto_oversized: u64,
+    /// Sound frames carrying a message tag this server does not speak
+    /// (version skew).
+    pub proto_unknown_tag: u64,
+    /// Everything else: bad magic, bad version, malformed payload bodies.
+    pub proto_other: u64,
 }
 
-#[derive(Default)]
-struct StatsInner {
-    accepted: AtomicU64,
-    shed: AtomicU64,
-    requests: AtomicU64,
-    protocol_errors: AtomicU64,
+/// Pre-resolved registry handles for the connection hot path.
+struct ServerMetrics {
+    accepted: Counter,
+    shed: Counter,
+    requests: Counter,
+    protocol_errors: Counter,
+    proto_truncated: Counter,
+    proto_bad_crc: Counter,
+    proto_oversized: Counter,
+    proto_unknown_tag: Counter,
+    proto_other: Counter,
+}
+
+impl ServerMetrics {
+    fn resolve(obs: &Registry) -> Self {
+        ServerMetrics {
+            accepted: obs.counter("net_accepted_total"),
+            shed: obs.counter("net_shed_total"),
+            requests: obs.counter("net_requests_total"),
+            protocol_errors: obs.counter("net_protocol_errors_total"),
+            proto_truncated: obs.counter("net_proto_truncated_total"),
+            proto_bad_crc: obs.counter("net_proto_bad_crc_total"),
+            proto_oversized: obs.counter("net_proto_oversized_total"),
+            proto_unknown_tag: obs.counter("net_proto_unknown_tag_total"),
+            proto_other: obs.counter("net_proto_other_total"),
+        }
+    }
+
+    /// Count one protocol error: the total, plus its kind.
+    fn protocol_error(&self, kind: ProtoErrorKind) {
+        self.protocol_errors.inc();
+        match kind {
+            ProtoErrorKind::Truncated => self.proto_truncated.inc(),
+            ProtoErrorKind::BadCrc => self.proto_bad_crc.inc(),
+            ProtoErrorKind::Oversized => self.proto_oversized.inc(),
+            ProtoErrorKind::UnknownTag => self.proto_unknown_tag.inc(),
+            ProtoErrorKind::Other => self.proto_other.inc(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ProtoErrorKind {
+    Truncated,
+    BadCrc,
+    Oversized,
+    UnknownTag,
+    Other,
+}
+
+impl From<&WireError> for ProtoErrorKind {
+    fn from(e: &WireError) -> Self {
+        match e {
+            WireError::Truncated { .. } => ProtoErrorKind::Truncated,
+            WireError::BadCrc { .. } => ProtoErrorKind::BadCrc,
+            WireError::Oversized { .. } => ProtoErrorKind::Oversized,
+            WireError::UnknownTag(_) => ProtoErrorKind::UnknownTag,
+            WireError::BadMagic(_) | WireError::BadVersion(_) | WireError::Malformed(_) => {
+                ProtoErrorKind::Other
+            }
+        }
+    }
 }
 
 struct Shared {
     service: Arc<RspService>,
     config: ServerConfig,
     shutdown: AtomicBool,
-    stats: StatsInner,
+    obs: Arc<Registry>,
+    metrics: ServerMetrics,
 }
 
 /// A running server: an acceptor, a worker pool, and the bounded queue
@@ -95,11 +168,14 @@ impl NetServer {
     ) -> io::Result<NetServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        let obs = Arc::clone(service.obs());
+        let metrics = ServerMetrics::resolve(&obs);
         let shared = Arc::new(Shared {
             service,
             config,
             shutdown: AtomicBool::new(false),
-            stats: StatsInner::default(),
+            obs,
+            metrics,
         });
         let workers = config.workers.max(1);
         let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.queue_depth.max(1));
@@ -125,14 +201,20 @@ impl NetServer {
         self.addr
     }
 
-    /// A point-in-time counter snapshot.
+    /// A point-in-time counter snapshot (a typed view over the service
+    /// registry's `net_*` series).
     pub fn stats(&self) -> ServerStats {
-        let s = &self.shared.stats;
+        let m = &self.shared.metrics;
         ServerStats {
-            accepted: s.accepted.load(Ordering::Relaxed),
-            shed: s.shed.load(Ordering::Relaxed),
-            requests: s.requests.load(Ordering::Relaxed),
-            protocol_errors: s.protocol_errors.load(Ordering::Relaxed),
+            accepted: m.accepted.get(),
+            shed: m.shed.get(),
+            requests: m.requests.get(),
+            protocol_errors: m.protocol_errors.get(),
+            proto_truncated: m.proto_truncated.get(),
+            proto_bad_crc: m.proto_bad_crc.get(),
+            proto_oversized: m.proto_oversized.get(),
+            proto_unknown_tag: m.proto_unknown_tag.get(),
+            proto_other: m.proto_other.get(),
         }
     }
 
@@ -184,12 +266,17 @@ fn accept_loop(shared: &Shared, listener: &TcpListener, tx: SyncSender<TcpStream
         }
         match tx.try_send(stream) {
             Ok(()) => {
-                shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.accepted.inc();
             }
             Err(TrySendError::Full(stream)) => {
                 // Explicit load shed: tell the client before closing.
+                let peer = stream.peer_addr();
                 shed(shared, stream);
-                shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.shed.inc();
+                shared.obs.event(
+                    "shed",
+                    peer.map(|a| a.to_string()).unwrap_or_else(|_| "unknown peer".into()),
+                );
             }
             Err(TrySendError::Disconnected(_)) => return,
         }
@@ -224,20 +311,29 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
             Ok(None) => return, // clean close between frames
             Err(NetError::Wire(e)) => {
                 // Framing is unrecoverable mid-stream: report, then close.
-                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.protocol_error((&e).into());
+                shared.obs.event("protocol_error", e.to_string());
                 let reply = Response::Error { detail: e.to_string() };
                 let _ = write_message(&mut stream, &reply.encode());
+                return;
+            }
+            Err(NetError::Closed) => {
+                // A clean close lands on `Ok(None)` above; `Closed` means
+                // the peer vanished mid-frame — a truncated frame.
+                shared.metrics.protocol_error(ProtoErrorKind::Truncated);
+                shared.obs.event("protocol_error", "peer closed mid-frame");
                 return;
             }
             Err(_) => return, // timeout / reset: the deadline did its job
         };
         let response = match Request::decode_payload(&payload) {
             Ok(request) => {
-                shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.requests.inc();
                 shared.service.handle(request)
             }
             Err(e) => {
-                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.protocol_error((&e).into());
+                shared.obs.event("protocol_error", e.to_string());
                 Response::Error { detail: e.to_string() }
             }
         };

@@ -22,6 +22,7 @@ use crate::error::WireError;
 use bytes::{BufMut, BytesMut};
 use orsp_client::UploadRequest;
 use orsp_crypto::{BigUint, BlindSignature, BlindedMessage, Token};
+use orsp_obs::{HistogramSnapshot, StatsSnapshot};
 use orsp_search::SearchQuery;
 use orsp_server::{crc32, EntityAggregate, RejectReason};
 use orsp_types::{
@@ -138,6 +139,9 @@ pub enum Request {
         /// The query.
         query: SearchQuery,
     },
+    /// Fetch the server's live metric snapshot (counters, gauges, and
+    /// latency percentiles from the service registry).
+    Stats,
 }
 
 /// A server-to-client response.
@@ -171,6 +175,12 @@ pub enum Response {
     SearchResults {
         /// Hits, best first.
         hits: Vec<SearchHit>,
+    },
+    /// The server's metric snapshot at the instant the request was
+    /// handled.
+    Stats {
+        /// Sorted counters, gauges, and histogram summaries.
+        snapshot: StatsSnapshot,
     },
     /// Explicit load shed: the accept queue is full. Never silent — a
     /// shed connection always receives this frame before close.
@@ -207,6 +217,7 @@ const T_ISSUE: u8 = 0x02;
 const T_UPLOAD: u8 = 0x03;
 const T_AGGREGATE: u8 = 0x04;
 const T_SEARCH: u8 = 0x05;
+const T_STATS: u8 = 0x06;
 // Response tags (high bit set).
 const T_PONG: u8 = 0x81;
 const T_ISSUED: u8 = 0x82;
@@ -217,6 +228,7 @@ const T_AGG: u8 = 0x86;
 const T_RESULTS: u8 = 0x87;
 const T_BUSY: u8 = 0x88;
 const T_ERROR: u8 = 0x89;
+const T_STATS_RESP: u8 = 0x8A;
 
 impl Request {
     /// Encode into a complete frame.
@@ -258,6 +270,7 @@ impl Request {
                 buf.put_u32_le(query.zipcode);
                 buf.put_u16_le(query.category.stable_index() as u16);
             }
+            Request::Stats => buf.put_u8(T_STATS),
         }
         buf.freeze().to_vec()
     }
@@ -280,7 +293,8 @@ impl Request {
             T_SEARCH => Request::Search {
                 query: SearchQuery { zipcode: r.u32()?, category: r.category()? },
             },
-            _ => return Err(WireError::Malformed("unknown request tag")),
+            T_STATS => Request::Stats,
+            tag => return Err(WireError::UnknownTag(tag)),
         };
         r.finish()?;
         Ok(request)
@@ -342,6 +356,10 @@ impl Response {
                     buf.put_f64_le(hit.repeat_fraction);
                 }
             }
+            Response::Stats { snapshot } => {
+                buf.put_u8(T_STATS_RESP);
+                put_snapshot(&mut buf, snapshot);
+            }
             Response::Busy => buf.put_u8(T_BUSY),
             Response::Error { detail } => {
                 buf.put_u8(T_ERROR);
@@ -383,9 +401,10 @@ impl Response {
                 }
                 Response::SearchResults { hits }
             }
+            T_STATS_RESP => Response::Stats { snapshot: r.snapshot()? },
             T_BUSY => Response::Busy,
             T_ERROR => Response::Error { detail: r.string()? },
-            _ => return Err(WireError::Malformed("unknown response tag")),
+            tag => return Err(WireError::UnknownTag(tag)),
         };
         r.finish()?;
         Ok(response)
@@ -446,6 +465,32 @@ fn put_aggregate(buf: &mut BytesMut, agg: &EntityAggregate) {
     for &(count, dist) in &agg.effort_points {
         buf.put_u64_le(count as u64);
         buf.put_f64_le(dist);
+    }
+}
+
+// A snapshot is three length-prefixed tables. Entry counts use u32 with
+// a minimum-size guard on decode (a name is at least 2 bytes, a value 8)
+// so a hostile count cannot drive a large allocation.
+fn put_snapshot(buf: &mut BytesMut, snap: &StatsSnapshot) {
+    buf.put_u32_le(snap.counters.len() as u32);
+    for (name, v) in &snap.counters {
+        put_string(buf, name);
+        buf.put_u64_le(*v);
+    }
+    buf.put_u32_le(snap.gauges.len() as u32);
+    for (name, v) in &snap.gauges {
+        put_string(buf, name);
+        buf.put_i64_le(*v);
+    }
+    buf.put_u32_le(snap.histograms.len() as u32);
+    for h in &snap.histograms {
+        put_string(buf, &h.name);
+        buf.put_u64_le(h.count);
+        buf.put_u64_le(h.sum);
+        buf.put_u64_le(h.max);
+        buf.put_u64_le(h.p50);
+        buf.put_u64_le(h.p90);
+        buf.put_u64_le(h.p99);
     }
 }
 
@@ -610,6 +655,46 @@ impl<'a> Reader<'a> {
         Ok(StarHistogram::from_counts(counts))
     }
 
+    /// Guarded length prefix: each of `n` entries needs at least
+    /// `min_entry` bytes, so a count implying more than the remaining
+    /// payload is hostile and rejected before any allocation.
+    fn table_len(&mut self, min_entry: usize) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_entry) > self.remaining() {
+            return Err(WireError::Malformed("table length exceeds payload"));
+        }
+        Ok(n)
+    }
+
+    fn snapshot(&mut self) -> Result<StatsSnapshot, WireError> {
+        let n = self.table_len(10)?; // u16 name len + u64 value
+        let mut counters = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = self.string()?;
+            counters.push((name, self.u64()?));
+        }
+        let n = self.table_len(10)?;
+        let mut gauges = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = self.string()?;
+            gauges.push((name, self.i64()?));
+        }
+        let n = self.table_len(50)?; // u16 name len + six u64 fields
+        let mut histograms = Vec::with_capacity(n);
+        for _ in 0..n {
+            histograms.push(HistogramSnapshot {
+                name: self.string()?,
+                count: self.u64()?,
+                sum: self.u64()?,
+                max: self.u64()?,
+                p50: self.u64()?,
+                p90: self.u64()?,
+                p99: self.u64()?,
+            });
+        }
+        Ok(StatsSnapshot { counters, gauges, histograms })
+    }
+
     fn aggregate(&mut self) -> Result<EntityAggregate, WireError> {
         let entity = EntityId::new(self.u64()?);
         let histories = self.u64()? as usize;
@@ -733,13 +818,43 @@ mod tests {
     #[test]
     fn unknown_tag_is_typed() {
         let framed = frame(&[0x7F]);
-        assert_eq!(
-            Request::decode(&framed),
-            Err(WireError::Malformed("unknown request tag"))
-        );
+        assert_eq!(Request::decode(&framed), Err(WireError::UnknownTag(0x7F)));
+        assert_eq!(Response::decode(&framed), Err(WireError::UnknownTag(0x7F)));
+    }
+
+    #[test]
+    fn stats_messages_round_trip() {
+        assert_eq!(Request::decode(&Request::Stats.encode()).unwrap(), Request::Stats);
+        let snapshot = StatsSnapshot {
+            counters: vec![("requests_total".into(), 7), ("shed_total".into(), 0)],
+            gauges: vec![("world_users".into(), -5)],
+            histograms: vec![HistogramSnapshot {
+                name: "rpc_ping_us".into(),
+                count: 3,
+                sum: 30,
+                max: 15,
+                p50: 7,
+                p90: 15,
+                p99: 15,
+            }],
+        };
+        let resp = Response::Stats { snapshot };
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        let empty = Response::Stats { snapshot: StatsSnapshot::default() };
+        assert_eq!(Response::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn hostile_snapshot_lengths_do_not_allocate() {
+        // A snapshot claiming 4 billion counters in a near-empty payload
+        // must fail the length guard before any allocation.
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u8(T_STATS_RESP);
+        buf.put_u32_le(u32::MAX);
+        let framed = frame(&buf.freeze().to_vec());
         assert_eq!(
             Response::decode(&framed),
-            Err(WireError::Malformed("unknown response tag"))
+            Err(WireError::Malformed("table length exceeds payload"))
         );
     }
 

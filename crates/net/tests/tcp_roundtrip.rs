@@ -164,6 +164,11 @@ fn saturated_server_sheds_with_busy_not_silence() {
     let mut retrying = NetClient::connect(addr, patient).expect("connect");
     retrying.ping().expect("retry succeeds after the deadline frees the worker");
     assert!(retrying.retries() >= 1, "success came via the retry path");
+    let retry_stats = retrying.retry_stats();
+    assert!(retry_stats.attempts >= 2, "at least the failed try plus the success");
+    assert!(retry_stats.busy >= 1, "the shed was recorded as a Busy");
+    assert!(retry_stats.backoff_us > 0, "backoff sleep time was accounted");
+    assert_eq!(retry_stats.exhausted, 0, "the call ultimately succeeded");
 
     drop(pin_worker);
     drop(fill_queue);
@@ -266,6 +271,127 @@ fn shutdown_drains_and_joins() {
         Ok(mut dead) => assert!(dead.ping().is_err(), "no server behind the port any more"),
         Err(_) => {} // refused outright: equally fine
     }
+}
+
+#[test]
+fn stats_rpc_reports_live_counters() {
+    let service = test_service();
+    let server = NetServer::bind("127.0.0.1:0", Arc::clone(&service), ServerConfig::default())
+        .expect("bind");
+    let addr = server.local_addr();
+
+    let mut client = NetClient::connect(addr, fast_client()).expect("connect");
+    client.ping().expect("ping");
+    client
+        .search(SearchQuery { zipcode: ZIP, category: Category::Restaurant(Cuisine::Mexican) })
+        .expect("search rpc");
+
+    // The snapshot rides the same wire as every other RPC, and by the
+    // time the Stats request dispatches, the ping and search spans have
+    // already landed in the registry.
+    let first = client.stats().expect("stats rpc");
+    assert!(
+        first.counter("net_requests_total").unwrap_or(0) >= 2,
+        "ping and search were counted: {:?}",
+        first.counter("net_requests_total")
+    );
+    let ping_hist = first.histogram("rpc_ping_us").expect("ping histogram exists");
+    assert_eq!(ping_hist.count, 1, "exactly one ping timed");
+    assert!(ping_hist.p50 <= ping_hist.max, "quantiles are ordered");
+    let search_hist = first.histogram("rpc_search_us").expect("search histogram exists");
+    assert_eq!(search_hist.count, 1, "exactly one search timed");
+
+    // A second scrape is monotonic and sees the first Stats call itself.
+    let second = client.stats().expect("second stats rpc");
+    assert!(
+        second.counter("net_requests_total").unwrap_or(0)
+            >= first.counter("net_requests_total").unwrap_or(0),
+        "request counter never goes backwards"
+    );
+    let stats_hist = second.histogram("rpc_stats_us").expect("stats histogram exists");
+    assert!(stats_hist.count >= 1, "the first Stats RPC was itself timed");
+    assert!(
+        second.histogram("rpc_ping_us").expect("still present").count >= ping_hist.count,
+        "histogram counts never go backwards"
+    );
+
+    let stats = server.shutdown();
+    assert!(stats.requests >= 4);
+    assert_eq!(stats.protocol_errors, 0);
+}
+
+#[test]
+fn protocol_error_kinds_are_counted() {
+    let service = test_service();
+    let server = NetServer::bind("127.0.0.1:0", service, ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+
+    let send = |bytes: &[u8], expect_reply: bool| {
+        let mut raw = TcpStream::connect(addr).expect("connect");
+        raw.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        raw.write_all(bytes).expect("write");
+        if expect_reply {
+            // Half-close so a server that keeps the connection open after
+            // replying (decode errors are per-request, not fatal) sees a
+            // clean end-of-conversation and closes its side too.
+            raw.shutdown(std::net::Shutdown::Write).expect("half-close");
+            let mut reply = Vec::new();
+            raw.read_to_end(&mut reply).expect("read reply");
+            assert!(
+                matches!(Response::decode(&reply), Ok(Response::Error { .. })),
+                "malformed input earns a typed Error response"
+            );
+        }
+        // Dropping the stream closes it; for the truncation case that
+        // close IS the malformation (EOF mid-frame).
+    };
+
+    // 1. Truncation: a valid header promising one payload byte, then FIN.
+    let ping = Request::Ping.encode();
+    send(&ping[..orsp_net::wire::HEADER_LEN], false);
+
+    // 2. Corrupt CRC: a full Ping frame with the payload byte flipped.
+    let mut bad_crc = ping.clone();
+    let last = bad_crc.len() - 1;
+    bad_crc[last] ^= 0xFF;
+    send(&bad_crc, true);
+
+    // 3. Oversized: the declared length exceeds the 1 MiB payload cap.
+    // Header only — the server rejects on the length field and closes
+    // without reading a payload, so unsent bytes would become an RST.
+    let mut oversized = ping[..orsp_net::wire::HEADER_LEN].to_vec();
+    oversized[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+    send(&oversized, true);
+
+    // 4. Unknown tag: a perfectly framed payload with a tag from the future.
+    send(&orsp_net::wire::frame(&[0x7F]), true);
+
+    // 5. Bad magic: header-sized junk, classified as "other".
+    send(b"XXXX!13bytes!", true);
+
+    // Wait until all five counters land (workers race our socket closes).
+    let mut tries = 0;
+    while server.stats().protocol_errors < 5 && tries < 100 {
+        std::thread::sleep(Duration::from_millis(10));
+        tries += 1;
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.protocol_errors, 5, "every malformation counted once");
+    assert_eq!(stats.proto_truncated, 1);
+    assert_eq!(stats.proto_bad_crc, 1);
+    assert_eq!(stats.proto_oversized, 1);
+    assert_eq!(stats.proto_unknown_tag, 1);
+    assert_eq!(stats.proto_other, 1);
+    assert_eq!(
+        stats.proto_truncated
+            + stats.proto_bad_crc
+            + stats.proto_oversized
+            + stats.proto_unknown_tag
+            + stats.proto_other,
+        stats.protocol_errors,
+        "the breakdown sums to the total"
+    );
+    assert_eq!(stats.requests, 0, "nothing malformed was ever executed");
 }
 
 #[test]

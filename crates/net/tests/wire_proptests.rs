@@ -6,6 +6,7 @@ use orsp_client::UploadRequest;
 use orsp_crypto::{BigUint, BlindSignature, BlindedMessage, Token};
 use orsp_net::wire::{decode_frame, frame, HEADER_LEN, MAX_PAYLOAD};
 use orsp_net::{Request, Response, SearchHit, WireError};
+use orsp_obs::{HistogramSnapshot, StatsSnapshot};
 use orsp_search::SearchQuery;
 use orsp_server::{EntityAggregate, RejectReason};
 use orsp_types::{
@@ -96,6 +97,7 @@ proptest! {
             Request::Search {
                 query: SearchQuery { zipcode, category: category_from(cat) },
             },
+            Request::Stats,
         ];
         for request in requests {
             let encoded = request.encode();
@@ -163,6 +165,75 @@ proptest! {
         for response in responses {
             let encoded = response.encode();
             prop_assert_eq!(Response::decode(&encoded).unwrap(), response);
+        }
+    }
+
+    #[test]
+    fn stats_snapshot_round_trips(
+        counter_names in proptest::collection::vec(
+            proptest::collection::vec(0u8..26, 1..16), 0..8),
+        counter_vals in proptest::collection::vec(0u64..u64::MAX, 8..9),
+        gauge_names in proptest::collection::vec(
+            proptest::collection::vec(0u8..26, 1..16), 0..8),
+        gauge_vals in proptest::collection::vec(i64::MIN..i64::MAX, 8..9),
+        hist_names in proptest::collection::vec(
+            proptest::collection::vec(0u8..26, 1..16), 0..6),
+        hist_vals in proptest::collection::vec(
+            (0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX), 6..7),
+    ) {
+        // The shim has no string strategy: derive names from letter bytes.
+        let name_of = |bytes: &Vec<u8>| -> String {
+            bytes.iter().map(|b| (b'a' + b) as char).collect()
+        };
+        let snapshot = StatsSnapshot {
+            counters: counter_names
+                .iter()
+                .zip(&counter_vals)
+                .map(|(n, v)| (name_of(n), *v))
+                .collect(),
+            gauges: gauge_names
+                .iter()
+                .zip(&gauge_vals)
+                .map(|(n, v)| (name_of(n), *v))
+                .collect(),
+            histograms: hist_names
+                .iter()
+                .zip(&hist_vals)
+                .map(|(n, &(count, sum, max, p50))| HistogramSnapshot {
+                    name: name_of(n),
+                    count,
+                    sum,
+                    max,
+                    p50,
+                    p90: p50.max(max / 2),
+                    p99: max,
+                })
+                .collect(),
+        };
+        let response = Response::Stats { snapshot };
+        let encoded = response.encode();
+        prop_assert_eq!(Response::decode(&encoded).unwrap(), response);
+    }
+
+    #[test]
+    fn truncated_stats_snapshot_is_a_typed_error(
+        n_counters in 1usize..5,
+        value in 0u64..u64::MAX,
+    ) {
+        let snapshot = StatsSnapshot {
+            counters: (0..n_counters).map(|i| (format!("c{i}"), value)).collect(),
+            gauges: vec![("g".into(), -1)],
+            histograms: vec![HistogramSnapshot {
+                name: "h".into(), count: 1, sum: value, max: value,
+                p50: value, p90: value, p99: value,
+            }],
+        };
+        let encoded = Response::Stats { snapshot }.encode();
+        for cut in 0..encoded.len() {
+            match Response::decode(&encoded[..cut]) {
+                Err(_) => {}
+                Ok(other) => prop_assert!(false, "cut {} decoded as {:?}", cut, other),
+            }
         }
     }
 

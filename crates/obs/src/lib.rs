@@ -1,0 +1,57 @@
+//! # orsp-obs
+//!
+//! Deterministic-safe observability for the RSP: a central [`Registry`]
+//! of named counters, gauges, and fixed-bucket latency histograms, span
+//! timers, a bounded structured event ring, and two exporters
+//! (Prometheus text + JSON) over one sorted [`StatsSnapshot`] type that
+//! also travels over the wire as the `Stats` RPC.
+//!
+//! Two rules keep instrumentation from ever perturbing science:
+//!
+//! 1. **Write-only**: pipeline code records into metrics; nothing in the
+//!    pipeline reads a metric or a clock back into a computation. The
+//!    outcome digests in `tests/pipeline_determinism.rs` stay
+//!    bit-identical with instrumentation on.
+//! 2. **Pluggable clock**: every timestamp flows through the [`Clock`]
+//!    trait — [`MonotonicClock`] in production, [`LogicalClock`] in
+//!    tests, so even the metric values themselves can be made
+//!    reproducible when a test wants to assert on them.
+//!
+//! Naming scheme (DESIGN.md §7): `snake_case`, `<subsystem>_<what>`,
+//! counters end in `_total`, latency histograms in `_us`, gauges are
+//! bare nouns (`world_users`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod metrics;
+pub mod registry;
+pub mod ring;
+pub mod snapshot;
+
+pub use clock::{Clock, LogicalClock, MonotonicClock};
+pub use metrics::{Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
+pub use registry::{Registry, Span, DEFAULT_EVENT_CAPACITY};
+pub use ring::Event;
+pub use snapshot::{HistogramSnapshot, StatsSnapshot};
+
+use std::sync::OnceLock;
+
+/// The process-wide registry (monotonic clock). Pipeline stages and
+/// other code without a natural service scope record here; services
+/// (`RspService`) carry their own registry so a `Stats` RPC reports one
+/// daemon's counters in isolation.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn global_registry_is_one_instance() {
+        super::global().counter("lib_test_total").add(2);
+        assert!(super::global().counter("lib_test_total").get() >= 2);
+    }
+}

@@ -1,0 +1,86 @@
+//! A bounded ring buffer of structured events.
+//!
+//! Metrics tell you *how much*; the event ring tells you *what happened
+//! last* — the most recent admissions, rejections, sheds, and errors,
+//! with timestamps from the registry's clock. The buffer is hard-bounded:
+//! a hot loop can emit events forever without growing memory, old events
+//! simply fall off the back.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One structured event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Registry-clock timestamp (µs).
+    pub at_micros: u64,
+    /// Event kind, e.g. `"shed"` or `"protocol_error"`.
+    pub kind: &'static str,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+pub(crate) struct EventRing {
+    buf: Mutex<VecDeque<Event>>,
+    capacity: usize,
+    /// Total events ever pushed (including those that fell off).
+    pushed: std::sync::atomic::AtomicU64,
+}
+
+impl EventRing {
+    pub(crate) fn new(capacity: usize) -> Self {
+        EventRing {
+            buf: Mutex::new(VecDeque::with_capacity(capacity.max(1))),
+            capacity: capacity.max(1),
+            pushed: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn push(&self, event: Event) {
+        self.pushed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut buf = self.buf.lock().expect("event ring poisoned");
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(event);
+    }
+
+    pub(crate) fn recent(&self) -> Vec<Event> {
+        self.buf.lock().expect("event ring poisoned").iter().cloned().collect()
+    }
+
+    pub(crate) fn total_pushed(&self) -> u64 {
+        self.pushed.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(i: u64) -> Event {
+        Event { at_micros: i, kind: "test", detail: format!("e{i}") }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_keeps_newest() {
+        let ring = EventRing::new(4);
+        for i in 0..10 {
+            ring.push(event(i));
+        }
+        let recent = ring.recent();
+        assert_eq!(recent.len(), 4);
+        assert_eq!(recent[0].detail, "e6");
+        assert_eq!(recent[3].detail, "e9");
+        assert_eq!(ring.total_pushed(), 10);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let ring = EventRing::new(0);
+        ring.push(event(1));
+        ring.push(event(2));
+        assert_eq!(ring.recent().len(), 1);
+        assert_eq!(ring.recent()[0].detail, "e2");
+    }
+}

@@ -1,0 +1,209 @@
+//! Point-in-time snapshots and their two export formats.
+//!
+//! A [`StatsSnapshot`] is a plain, ordered value type — the same shape
+//! travels over the wire (the net layer's `Stats` RPC encodes it), lands
+//! in JSON results files, and feeds the Prometheus text exporter. Names
+//! are sorted, so two snapshots of the same registry state are
+//! byte-identical however they were produced.
+
+/// One histogram, summarized: total/sum/max exactly, percentiles as
+/// bucket upper bounds (within 2× of the true value by construction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations (µs by convention).
+    pub sum: u64,
+    /// Exact maximum observation.
+    pub max: u64,
+    /// 50th percentile (bucket upper bound).
+    pub p50: u64,
+    /// 90th percentile (bucket upper bound).
+    pub p90: u64,
+    /// 99th percentile (bucket upper bound).
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Everything a registry knows at one instant, sorted by metric name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StatsSnapshot {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge.
+    pub gauges: Vec<(String, i64)>,
+    /// Every histogram, summarized.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl StatsSnapshot {
+    /// Look up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Look up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Look up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Total number of metrics in the snapshot.
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// True if no metrics were registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Prometheus text exposition format. Counters export as `_total`-
+    /// suffix-free monotonic counters, histograms as summary-style
+    /// quantile gauges plus `_sum`/`_count` (fixed buckets are an
+    /// implementation detail; quantiles are what operators alert on).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let name = sanitize(name);
+            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            let name = sanitize(name);
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+        }
+        for h in &self.histograms {
+            let name = sanitize(&h.name);
+            out.push_str(&format!("# TYPE {name} summary\n"));
+            out.push_str(&format!("{name}{{quantile=\"0.5\"}} {}\n", h.p50));
+            out.push_str(&format!("{name}{{quantile=\"0.9\"}} {}\n", h.p90));
+            out.push_str(&format!("{name}{{quantile=\"0.99\"}} {}\n", h.p99));
+            out.push_str(&format!("{name}_max {}\n", h.max));
+            out.push_str(&format!("{name}_sum {}\n", h.sum));
+            out.push_str(&format!("{name}_count {}\n", h.count));
+        }
+        out
+    }
+
+    /// Flat JSON (the workspace has no serde_json; names are sanitized to
+    /// `[a-zA-Z0-9_:]` so no string escaping is ever needed).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        push_entries(&mut out, self.counters.iter().map(|(n, v)| (n, v.to_string())));
+        out.push_str("},\n  \"gauges\": {");
+        push_entries(&mut out, self.gauges.iter().map(|(n, v)| (n, v.to_string())));
+        out.push_str("},\n  \"histograms\": {");
+        push_entries(
+            &mut out,
+            self.histograms.iter().map(|h| {
+                (
+                    &h.name,
+                    format!(
+                        "{{\"count\": {}, \"sum\": {}, \"max\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+                        h.count, h.sum, h.max, h.p50, h.p90, h.p99
+                    ),
+                )
+            }),
+        );
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+fn push_entries<'a>(out: &mut String, entries: impl Iterator<Item = (&'a String, String)>) {
+    let mut first = true;
+    for (name, value) in entries {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("\n    \"{}\": {}", sanitize(name), value));
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+}
+
+/// Restrict a metric name to the Prometheus-legal alphabet.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StatsSnapshot {
+        StatsSnapshot {
+            counters: vec![("requests_total".into(), 42)],
+            gauges: vec![("in_flight".into(), -3)],
+            histograms: vec![HistogramSnapshot {
+                name: "rpc_ping_us".into(),
+                count: 10,
+                sum: 100,
+                max: 31,
+                p50: 7,
+                p90: 15,
+                p99: 31,
+            }],
+        }
+    }
+
+    #[test]
+    fn prometheus_render_has_all_series() {
+        let text = sample().render_prometheus();
+        assert!(text.contains("# TYPE requests_total counter"));
+        assert!(text.contains("requests_total 42"));
+        assert!(text.contains("in_flight -3"));
+        assert!(text.contains("rpc_ping_us{quantile=\"0.99\"} 31"));
+        assert!(text.contains("rpc_ping_us_count 10"));
+    }
+
+    #[test]
+    fn json_render_is_well_formed_enough() {
+        let json = sample().render_json();
+        assert!(json.contains("\"requests_total\": 42"));
+        assert!(json.contains("\"p99\": 31"));
+        // Balanced braces (no serde_json to parse with; count instead).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn lookups_and_sanitization() {
+        let snap = sample();
+        assert_eq!(snap.counter("requests_total"), Some(42));
+        assert_eq!(snap.gauge("in_flight"), Some(-3));
+        assert_eq!(snap.histogram("rpc_ping_us").unwrap().mean(), 10.0);
+        assert_eq!(snap.counter("absent"), None);
+        assert_eq!(sanitize("rpc latency (µs)"), "rpc_latency___s_");
+    }
+
+    #[test]
+    fn empty_snapshot_renders() {
+        let snap = StatsSnapshot::default();
+        assert!(snap.is_empty());
+        assert_eq!(snap.render_prometheus(), "");
+        assert_eq!(
+            snap.render_json(),
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": {}\n}\n"
+        );
+    }
+}

@@ -190,10 +190,12 @@ pub fn deterministic_ingest(
     mint: &mut TokenMint,
     threads: usize,
 ) -> IngestService {
+    let obs = orsp_obs::global();
     let threads = threads.max(1);
     let mut stats = IngestStats::default();
 
     // Phase 1: parallel signature verification.
+    let verify_span = obs.span("ingest_verify_us");
     let key = mint.public_key().clone();
     let mut valid = vec![false; deliveries.len()];
     let chunk = deliveries.len().div_ceil(threads).max(1);
@@ -208,8 +210,10 @@ pub fn deterministic_ingest(
         }
     })
     .expect("verify worker panicked");
+    verify_span.end();
 
     // Phase 2: sequential ledger pass in delivery order.
+    let ledger_span = obs.span("ingest_ledger_us");
     let mut admitted: Vec<usize> = Vec::with_capacity(deliveries.len());
     for (i, (at, upload)) in deliveries.iter().enumerate() {
         match mint.redeem_preverified(&upload.token, *at, valid[i]) {
@@ -218,8 +222,10 @@ pub fn deterministic_ingest(
             SpendOutcome::Accepted => admitted.push(i),
         }
     }
+    ledger_span.end();
 
     // Phase 3: parallel appends, one worker per residue class of shards.
+    let append_span = obs.span("ingest_append_us");
     let workers = threads.min(admitted.len().max(1));
     let shards = workers * 8;
     let store = ShardedStore::new(shards);
@@ -259,6 +265,13 @@ pub fn deterministic_ingest(
     stats.accepted = accepted;
     stats.bad_record = bad_record;
     stats.entity_mismatch = entity_mismatch;
+    append_span.end();
+
+    // Bulk-mirror the batch outcome into the global registry. Recording
+    // sums after the phases keeps the hot loops untouched and the counts
+    // independent of thread interleaving.
+    obs.counter("ingest_accepted_total").add(stats.accepted);
+    obs.counter("ingest_rejected_total").add(stats.rejected());
 
     IngestService::from_parts(store.into_merged(), stats)
 }

@@ -105,10 +105,39 @@ fn main() {
         entity.raw(),
         if aggregate.is_none() { "suppressed" } else { "published" }
     );
-    // 4. Drain and exit.
+    //    Stats: scrape the daemon's live metrics over the same wire. The
+    //    snapshot carries every counter, gauge, and latency histogram the
+    //    service registry accumulated while we were talking to it.
+    let snapshot = client.stats().expect("stats RPC");
+    println!(
+        "client: stats RPC -> {} requests served, {} worlds metrics, {} rpc histograms",
+        snapshot.counter("net_requests_total").unwrap_or(0),
+        snapshot.gauges.len(),
+        snapshot.histograms.len(),
+    );
+    for h in &snapshot.histograms {
+        if h.count > 0 {
+            println!(
+                "    {:<24} count {:>3}  p50 {:>6}µs  p99 {:>6}µs  max {:>6}µs",
+                h.name, h.count, h.p50, h.p99, h.max
+            );
+        }
+    }
+
+    // 4. Drain and exit, dumping the final registry snapshot.
     let stats = server.shutdown();
     println!(
-        "daemon: drained — {} connections, {} requests, {} shed, {} protocol errors",
-        stats.accepted, stats.requests, stats.shed, stats.protocol_errors
+        "daemon: drained — {} connections, {} requests, {} shed, {} protocol errors \
+         (truncated {}, bad crc {}, oversized {}, unknown tag {}, other {})",
+        stats.accepted,
+        stats.requests,
+        stats.shed,
+        stats.protocol_errors,
+        stats.proto_truncated,
+        stats.proto_bad_crc,
+        stats.proto_oversized,
+        stats.proto_unknown_tag,
+        stats.proto_other,
     );
+    println!("daemon: final snapshot\n{}", service.obs().snapshot().render_json());
 }

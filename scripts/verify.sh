@@ -4,19 +4,26 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-echo "== cargo build --release =="
-cargo build --workspace --release
-
-echo "== orsp-net builds clean under -D warnings =="
-RUSTFLAGS="-D warnings" cargo build --release -p orsp-net
+echo "== cargo build --release (workspace, -D warnings) =="
+RUSTFLAGS="-D warnings" cargo build --workspace --release
 
 echo "== cargo test -q =="
 cargo test -q --workspace
+
+echo "== obs test suites (registry unit tests, N-thread hammer) =="
+cargo test -q --release -p orsp-obs
+cargo test -q --release -p orsp-obs --test concurrency
 
 echo "== net test suites (codec proptests, TCP integration, end-to-end digest) =="
 cargo test -q --release -p orsp-net --test wire_proptests
 cargo test -q --release -p orsp-net --test tcp_roundtrip
 cargo test -q --release -p orsp-core --test net_end_to_end
+
+echo "== recorded obs overhead stays under the 3% gate =="
+# The full A/B takes ~20s of steady load; CI checks the recorded result
+# (regenerate with: cargo run --release -p orsp-bench --bin obs_overhead).
+test -f results/BENCH_obs_overhead.json
+grep -q '"overhead_below_3pct": true' results/BENCH_obs_overhead.json
 
 # Formatting is advisory: rustfmt may be absent in minimal toolchains.
 if command -v rustfmt >/dev/null 2>&1; then
