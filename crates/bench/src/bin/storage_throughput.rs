@@ -1,0 +1,293 @@
+//! Storage throughput — the durable engine on real files.
+//!
+//! Drives `orsp-storage` through its full life cycle on an `FsDir`
+//! under `target/storage-bench` (wiped at start):
+//!
+//! 1. **Append**: ≥100k records through the sharded segmented log,
+//!    timed per fsync policy (`Never`, `OnRotate`, and a short `Always`
+//!    probe — a full run at `Always` is one fsync per record and would
+//!    measure the disk, not the engine).
+//! 2. **Cold recovery**: drop the engine, reopen the directory, and
+//!    time a full log replay of every record.
+//! 3. **Checkpoint**: serialize the recovered store, rotate, publish a
+//!    manifest, and sweep the replayed segments — timed.
+//! 4. **Warm recovery**: reopen once more and time recovery when the
+//!    checkpoint carries the records and replay only walks the tail.
+//!
+//! Writes `results/BENCH_storage_throughput.json`.
+//!
+//! ```sh
+//! cargo run --release -p orsp-bench --bin storage_throughput
+//! cargo run --release -p orsp-bench --bin storage_throughput -- --records 500000
+//! ```
+
+use orsp_bench::{arg_u64, f, header, seed_from_args};
+use orsp_server::{HistoryStore, IngestStats, WalEntry, WAL_RECORD_LEN};
+use orsp_storage::{FsDir, FsyncPolicy, StorageEngine, StorageOptions};
+use orsp_types::{EntityId, Interaction, InteractionKind, RecordId, SimDuration, Timestamp};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct AppendResult {
+    policy: &'static str,
+    records: u64,
+    secs: f64,
+    bytes: u64,
+    fsyncs: u64,
+    segments: u64,
+}
+
+impl AppendResult {
+    fn records_per_sec(&self) -> f64 {
+        if self.secs > 0.0 {
+            self.records as f64 / self.secs
+        } else {
+            0.0
+        }
+    }
+    fn mib_per_sec(&self) -> f64 {
+        if self.secs > 0.0 {
+            self.bytes as f64 / (1024.0 * 1024.0) / self.secs
+        } else {
+            0.0
+        }
+    }
+}
+
+fn entry(i: u64, seed: u64) -> WalEntry {
+    let mut id = [0u8; 32];
+    id[..8].copy_from_slice(&i.to_le_bytes());
+    id[8..16].copy_from_slice(&seed.to_le_bytes());
+    id[16] = 0xB5;
+    WalEntry {
+        record_id: RecordId::from_bytes(id),
+        entity: EntityId::new(i % 997),
+        interaction: Interaction::solo(
+            InteractionKind::ALL[(i % 4) as usize],
+            Timestamp::from_seconds((i as i64) * 60),
+            SimDuration::minutes(3 + (i as i64) % 40),
+            11.5 * ((i % 50) as f64 + 1.0),
+        ),
+    }
+}
+
+fn main() {
+    let seed = seed_from_args();
+    let records = arg_u64("records", 150_000).max(100_000);
+    let shards = arg_u64("shards", 8) as u32;
+    let segment_bytes = arg_u64("segment-kib", 4096) * 1024;
+    let always_probe = arg_u64("always-records", 2_000);
+    header("STORAGE", "segmented-log engine: append, cold recovery, checkpoint, warm recovery");
+    println!(
+        "\n{records} records x {WAL_RECORD_LEN} bytes, {shards} shards, \
+         {} KiB segments, data dir target/storage-bench",
+        segment_bytes / 1024
+    );
+
+    let root = std::path::Path::new("target/storage-bench");
+    let _ = std::fs::remove_dir_all(root);
+
+    // -- 1. Append throughput, per fsync policy ------------------------
+    let mut appends: Vec<AppendResult> = Vec::new();
+    for (policy, name, n) in [
+        (FsyncPolicy::Never, "never", records),
+        (FsyncPolicy::OnRotate, "on_rotate", records),
+        (FsyncPolicy::Always, "always", always_probe),
+    ] {
+        let dir = root.join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = StorageOptions {
+            shard_count: shards,
+            max_segment_bytes: segment_bytes,
+            fsync: policy,
+        };
+        let (engine, _) =
+            StorageEngine::open(Arc::new(FsDir::open(&dir).expect("open")), opts)
+                .expect("fresh engine");
+        // The engine reports through the global obs registry; the deltas
+        // around the timed loop are this run's own traffic.
+        let counter = |name: &str| orsp_obs::global().snapshot().counter(name).unwrap_or(0);
+        let (bytes0, fsyncs0, rot0) = (
+            counter("storage_bytes_appended_total"),
+            counter("storage_fsyncs_total"),
+            counter("storage_segments_rotated_total"),
+        );
+        let t0 = Instant::now();
+        for i in 0..n {
+            engine.append(&entry(i, seed)).expect("append");
+        }
+        engine.sync_all().expect("final sync");
+        let secs = t0.elapsed().as_secs_f64();
+        let result = AppendResult {
+            policy: name,
+            records: n,
+            secs,
+            bytes: counter("storage_bytes_appended_total") - bytes0,
+            fsyncs: counter("storage_fsyncs_total") - fsyncs0,
+            segments: counter("storage_segments_rotated_total") - rot0 + shards as u64,
+        };
+        println!(
+            "append [{:>9}]: {:>7} records in {:>7}s -> {:>9} rec/s  {:>6} MiB/s  \
+             {:>5} fsyncs  {:>4} segments",
+            result.policy,
+            result.records,
+            f(result.secs),
+            f(result.records_per_sec()),
+            f(result.mib_per_sec()),
+            result.fsyncs,
+            result.segments,
+        );
+        appends.push(result);
+        // Only the on_rotate directory is carried into the recovery
+        // phases; the others exist to be measured, then deleted.
+        if name != "on_rotate" {
+            drop(engine);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    // -- 2. Cold recovery: full log replay -----------------------------
+    let dir = root.join("on_rotate");
+    let opts = StorageOptions {
+        shard_count: shards,
+        max_segment_bytes: segment_bytes,
+        fsync: FsyncPolicy::OnRotate,
+    };
+    let t0 = Instant::now();
+    let (engine, cold) =
+        StorageEngine::open(Arc::new(FsDir::open(&dir).expect("reopen")), opts.clone())
+            .expect("cold recovery");
+    let cold_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(cold.records_replayed, records, "cold recovery must replay every record");
+    assert!(!cold.from_checkpoint);
+    let cold_rps = cold.records_replayed as f64 / cold_secs.max(1e-9);
+    println!(
+        "\ncold recovery: {} records replayed in {}s -> {} rec/s ({} torn tails)",
+        cold.records_replayed,
+        f(cold_secs),
+        f(cold_rps),
+        cold.torn_tails
+    );
+
+    // -- 3. Checkpoint the recovered store ------------------------------
+    let stats = IngestStats { accepted: records, ..IngestStats::default() };
+    let t0 = Instant::now();
+    let generation = engine.checkpoint(&cold.store, &stats).expect("checkpoint");
+    let ckpt_secs = t0.elapsed().as_secs_f64();
+    println!(
+        "checkpoint: generation {generation}, {} histories in {}s",
+        cold.store.len(),
+        f(ckpt_secs)
+    );
+    drop(engine);
+
+    // -- 4. Warm recovery: checkpoint + tail replay ---------------------
+    let t0 = Instant::now();
+    let (_, warm) = StorageEngine::open(Arc::new(FsDir::open(&dir).expect("reopen")), opts)
+        .expect("warm recovery");
+    let warm_secs = t0.elapsed().as_secs_f64();
+    assert!(warm.from_checkpoint, "warm recovery must load the checkpoint");
+    assert_eq!(warm.records_from_checkpoint + warm.records_replayed, records);
+    assert_eq!(warm.stats.accepted, records);
+    println!(
+        "warm recovery: {} from checkpoint + {} replayed in {}s (speedup {}x)",
+        warm.records_from_checkpoint,
+        warm.records_replayed,
+        f(warm_secs),
+        f(cold_secs / warm_secs.max(1e-9))
+    );
+
+    sanity_check(&cold.store, records, seed);
+
+    let target_ok = cold_rps >= 100_000.0;
+    println!(
+        "\ncold replay rate: {} rec/s (target >= 100k: {})",
+        f(cold_rps),
+        if target_ok { "PASS" } else { "FAIL" }
+    );
+
+    write_json(
+        seed, records, shards, segment_bytes, &appends, cold_secs, cold_rps, ckpt_secs,
+        warm_secs, &warm,
+    );
+    let _ = std::fs::remove_dir_all(root);
+}
+
+/// Spot-check the recovered store against the generator: every Nth
+/// record must be present with its exact interaction.
+fn sanity_check(store: &HistoryStore, records: u64, seed: u64) {
+    assert_eq!(store.total_interactions() as u64, records);
+    for i in (0..records).step_by((records / 64).max(1) as usize) {
+        let e = entry(i, seed);
+        let found = store
+            .iter()
+            .find(|(id, _)| **id == e.record_id)
+            .unwrap_or_else(|| panic!("record {i} missing after recovery"));
+        assert!(
+            found.1.history.records().contains(&e.interaction),
+            "record {i} recovered with the wrong interaction"
+        );
+    }
+}
+
+/// Hand-rolled JSON (the workspace has no serde_json): flat and stable.
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    seed: u64,
+    records: u64,
+    shards: u32,
+    segment_bytes: u64,
+    appends: &[AppendResult],
+    cold_secs: f64,
+    cold_rps: f64,
+    ckpt_secs: f64,
+    warm_secs: f64,
+    warm: &orsp_storage::RecoveryReport,
+) {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"storage_throughput\",\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"records\": {records},\n"));
+    out.push_str(&format!("  \"shards\": {shards},\n"));
+    out.push_str(&format!("  \"segment_bytes\": {segment_bytes},\n"));
+    out.push_str("  \"append\": [\n");
+    for (i, a) in appends.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"fsync\": \"{}\", \"records\": {}, \"secs\": {:.3}, \
+             \"records_per_sec\": {:.0}, \"mib_per_sec\": {:.1}, \"fsyncs\": {}, \
+             \"segments\": {}}}{}\n",
+            a.policy,
+            a.records,
+            a.secs,
+            a.records_per_sec(),
+            a.mib_per_sec(),
+            a.fsyncs,
+            a.segments,
+            if i + 1 < appends.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"cold_recovery\": {{\"records_replayed\": {records}, \"secs\": {cold_secs:.3}, \
+         \"records_per_sec\": {cold_rps:.0}}},\n"
+    ));
+    out.push_str(&format!("  \"checkpoint_secs\": {ckpt_secs:.3},\n"));
+    out.push_str(&format!(
+        "  \"warm_recovery\": {{\"records_from_checkpoint\": {}, \"records_replayed\": {}, \
+         \"secs\": {warm_secs:.3}, \"speedup_over_cold\": {:.1}}},\n",
+        warm.records_from_checkpoint,
+        warm.records_replayed,
+        cold_secs / warm_secs.max(1e-9)
+    ));
+    out.push_str(&format!(
+        "  \"cold_replay_meets_100k_rps\": {}\n",
+        cold_rps >= 100_000.0
+    ));
+    out.push_str("}\n");
+
+    let path = "results/BENCH_storage_throughput.json";
+    match std::fs::write(path, &out) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => println!("could not write {path}: {e}"),
+    }
+}

@@ -34,7 +34,10 @@ pub use coverage::{CoverageReport, OpinionCounts};
 pub use digest::{digest_hex, outcome_digest};
 pub use directory::{category_map, directory_entries, listings};
 pub use pipeline::{PipelineConfig, PipelineOutcome, RspPipeline};
-pub use serve::{complete_served, run_client_side, serve, service_for_world, ServedRun};
+pub use serve::{
+    complete_served, run_client_side, serve, service_for_world, service_for_world_recovered,
+    ServedRun,
+};
 
 /// Convenience re-exports of the crates behind the facade.
 pub mod prelude {

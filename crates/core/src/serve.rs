@@ -39,6 +39,19 @@ use std::sync::Arc;
 /// ranking from day one (reviews are public — no privacy machinery
 /// needed for them).
 pub fn service_for_world(world: &World, config: &PipelineConfig) -> RspService {
+    service_for_world_recovered(world, config, orsp_server::IngestService::new(), None)
+}
+
+/// [`service_for_world`] resuming from recovered state: the service's
+/// history store starts from `ingest` (what crash recovery rebuilt from
+/// the durable log) and, when `sink` is given, every accepted upload is
+/// durably logged before its `UploadAccepted` response exists.
+pub fn service_for_world_recovered(
+    world: &World,
+    config: &PipelineConfig,
+    ingest: orsp_server::IngestService,
+    sink: Option<Arc<dyn orsp_server::WalSink>>,
+) -> RspService {
     let mut rng = rng_for(world.config.seed, "pipeline");
     let mint = TokenMint::new(
         &mut rng,
@@ -50,13 +63,17 @@ pub fn service_for_world(world: &World, config: &PipelineConfig) -> RspService {
     for review in &world.reviews {
         explicit.entry(review.entity).or_default().add(review.rating);
     }
-    let service = RspService::new(
+    let service = RspService::with_ingest(
         mint,
         SearchIndex::build(listings(world)),
         explicit,
         Ranker::default(),
         ServiceConfig::default(),
+        ingest,
     );
+    if let Some(sink) = sink {
+        service.set_durability(sink);
+    }
     // Publish the served world's shape as gauges so a `Stats` RPC (or a
     // Prometheus scrape) reports what this daemon is serving, not just
     // how fast.

@@ -13,8 +13,8 @@ use orsp_crypto::TokenMint;
 use orsp_obs::{Counter, Histogram, Registry};
 use orsp_search::{InferredSummary, Ranker, ReviewSummary, SearchIndex};
 use orsp_server::{
-    AggregatePublisher, EntityAggregate, IngestService, IngestStats, RejectReason,
-    MIN_AGGREGATE_SUPPORT,
+    AggregatePublisher, EntityAggregate, IngestService, IngestStats, RejectReason, WalEntry,
+    WalSink, MIN_AGGREGATE_SUPPORT,
 };
 use orsp_types::{EntityId, StarHistogram};
 use parking_lot::Mutex;
@@ -47,6 +47,10 @@ struct ServiceState {
     ranker: Ranker,
     explicit: HashMap<EntityId, StarHistogram>,
     inferred: HashMap<EntityId, StarHistogram>,
+    /// Durability hook: every accepted upload is logged here before the
+    /// response is sent, so a crash after `UploadAccepted` cannot lose
+    /// the record (with `FsyncPolicy::Always`).
+    wal: Option<Arc<dyn WalSink>>,
 }
 
 /// Pre-resolved metric handles for the request hot path: one registry
@@ -65,6 +69,7 @@ struct RouterMetrics {
     ingest_double_spend_total: Counter,
     ingest_bad_record_total: Counter,
     ingest_entity_mismatch_total: Counter,
+    durability_errors_total: Counter,
 }
 
 impl RouterMetrics {
@@ -83,6 +88,7 @@ impl RouterMetrics {
             ingest_double_spend_total: obs.counter("ingest_double_spend_total"),
             ingest_bad_record_total: obs.counter("ingest_bad_record_total"),
             ingest_entity_mismatch_total: obs.counter("ingest_entity_mismatch_total"),
+            durability_errors_total: obs.counter("durability_errors_total"),
         }
     }
 
@@ -115,21 +121,42 @@ impl RspService {
         ranker: Ranker,
         config: ServiceConfig,
     ) -> Self {
+        Self::with_ingest(mint, index, explicit, ranker, config, IngestService::new())
+    }
+
+    /// A service whose history store starts from `ingest` — how a
+    /// daemon resumes serving after crash recovery rebuilt its state
+    /// from the durable log.
+    pub fn with_ingest(
+        mint: TokenMint,
+        index: SearchIndex,
+        explicit: HashMap<EntityId, StarHistogram>,
+        ranker: Ranker,
+        config: ServiceConfig,
+        ingest: IngestService,
+    ) -> Self {
         let obs = Arc::new(Registry::new());
         let metrics = RouterMetrics::resolve(&obs);
         RspService {
             state: Mutex::new(ServiceState {
                 mint,
-                ingest: IngestService::new(),
+                ingest,
                 index,
                 ranker,
                 explicit,
                 inferred: HashMap::new(),
+                wal: None,
             }),
             config,
             obs,
             metrics,
         }
+    }
+
+    /// Attach a durability sink: from now on every accepted upload is
+    /// logged through it before the `UploadAccepted` response exists.
+    pub fn set_durability(&self, sink: Arc<dyn WalSink>) {
+        self.state.lock().wal = Some(sink);
     }
 
     /// This service's metric registry. The `NetServer` fronting the
@@ -183,6 +210,22 @@ impl RspService {
                 match state.ingest.ingest(&upload, &mut state.mint, now) {
                     Ok(()) => {
                         self.metrics.ingest_accepted_total.inc();
+                        if let Some(wal) = &state.wal {
+                            let entry = WalEntry {
+                                record_id: upload.record_id,
+                                entity: upload.entity,
+                                interaction: upload.interaction,
+                            };
+                            if let Err(e) = wal.log_append(&entry) {
+                                // Accepted in memory but not durable:
+                                // tell the client the truth rather than
+                                // promise durability we cannot provide.
+                                self.metrics.durability_errors_total.inc();
+                                return Response::Error {
+                                    detail: format!("durability failure: {e}"),
+                                };
+                            }
+                        }
                         Response::UploadAccepted
                     }
                     Err(reason) => {

@@ -39,6 +39,12 @@ pub use attest_gate::{AttestationGate, GateOutcome};
 pub use fraud::{FraudDetector, FraudVerdict};
 pub use ingest::{IngestService, IngestStats, RejectReason};
 pub use profile::{CategoryProfile, HistoryStats, ProfileBuilder, Quantiles};
-pub use sharded::{deterministic_ingest, parallel_ingest, shard_index, ParallelStats, ShardedStore};
+pub use sharded::{
+    deterministic_ingest, deterministic_ingest_logged, parallel_ingest, shard_index,
+    ParallelStats, ShardedStore,
+};
 pub use store::{HistoryStore, StoredHistory};
-pub use wal::{crc32, rebuild_store, replay, Replay, WalEntry, WalWriter};
+pub use wal::{
+    crc32, encode_record, rebuild_store, replay, wal_header, Replay, WalEntry, WalFault,
+    WalSink, WalWriter, WAL_HEADER_LEN, WAL_RECORD_LEN,
+};

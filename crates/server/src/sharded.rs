@@ -10,6 +10,7 @@
 
 use crate::ingest::{IngestService, IngestStats};
 use crate::store::{HistoryStore, StoredHistory};
+use crate::wal::{WalEntry, WalSink};
 use orsp_client::UploadRequest;
 use orsp_crypto::blind::verify_unblinded;
 use orsp_crypto::{RsaPublicKey, SpendOutcome, TokenMint};
@@ -190,6 +191,24 @@ pub fn deterministic_ingest(
     mint: &mut TokenMint,
     threads: usize,
 ) -> IngestService {
+    deterministic_ingest_logged(deliveries, mint, threads, None)
+}
+
+/// [`deterministic_ingest`] with a durability hook: every phase-3 append
+/// the store accepts is also handed to `sink` (when present) from the
+/// worker that owns the record's shard. A record id always maps to one
+/// worker, so each record's entries reach the sink in delivery order —
+/// the invariant crash recovery replays against. Sink failures never
+/// change the in-memory outcome (the run's digests stay identical with
+/// or without a sink); they are counted in
+/// `storage_append_errors_total`, and a crashed sink simply stops
+/// persisting — exactly the state a real crash leaves behind.
+pub fn deterministic_ingest_logged(
+    deliveries: &[(Timestamp, UploadRequest)],
+    mint: &mut TokenMint,
+    threads: usize,
+    sink: Option<&dyn WalSink>,
+) -> IngestService {
     let obs = orsp_obs::global();
     let threads = threads.max(1);
     let mut stats = IngestStats::default();
@@ -232,12 +251,13 @@ pub fn deterministic_ingest(
     let mut accepted = 0u64;
     let mut bad_record = 0u64;
     let mut entity_mismatch = 0u64;
+    let mut sink_errors = 0u64;
     crossbeam::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let (store, admitted) = (&store, &admitted);
                 scope.spawn(move |_| {
-                    let (mut acc, mut bad, mut mism) = (0u64, 0u64, 0u64);
+                    let (mut acc, mut bad, mut mism, mut serr) = (0u64, 0u64, 0u64, 0u64);
                     for &i in admitted {
                         let upload = &deliveries[i].1;
                         if shard_index(upload.record_id.as_bytes(), shards) % workers != w {
@@ -245,26 +265,42 @@ pub fn deterministic_ingest(
                         }
                         match store.append(upload.record_id, upload.entity, upload.interaction)
                         {
-                            Ok(()) => acc += 1,
+                            Ok(()) => {
+                                acc += 1;
+                                if let Some(sink) = sink {
+                                    let entry = WalEntry {
+                                        record_id: upload.record_id,
+                                        entity: upload.entity,
+                                        interaction: upload.interaction,
+                                    };
+                                    if sink.log_append(&entry).is_err() {
+                                        serr += 1;
+                                    }
+                                }
+                            }
                             Err(orsp_types::OrspError::UploadRejected(_)) => mism += 1,
                             Err(_) => bad += 1,
                         }
                     }
-                    (acc, bad, mism)
+                    (acc, bad, mism, serr)
                 })
             })
             .collect();
         for h in handles {
-            let (acc, bad, mism) = h.join().expect("append worker panicked");
+            let (acc, bad, mism, serr) = h.join().expect("append worker panicked");
             accepted += acc;
             bad_record += bad;
             entity_mismatch += mism;
+            sink_errors += serr;
         }
     })
     .expect("append worker panicked");
     stats.accepted = accepted;
     stats.bad_record = bad_record;
     stats.entity_mismatch = entity_mismatch;
+    if sink_errors > 0 {
+        obs.counter("storage_append_errors_total").add(sink_errors);
+    }
     append_span.end();
 
     // Bulk-mirror the batch outcome into the global registry. Recording

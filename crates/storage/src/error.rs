@@ -1,0 +1,103 @@
+//! Storage-tier errors.
+//!
+//! Every failure names the file and operation involved; corruption
+//! failures carry the typed [`WalFault`] (record index + byte offset)
+//! the replay layer reported, so an operator can find the damage with a
+//! hex dump instead of a debugger.
+
+use orsp_server::WalFault;
+use std::fmt;
+
+/// Storage-tier result alias.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+/// What went wrong in the durability tier.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StorageError {
+    /// An I/O operation failed (or a simulated crash cut it off).
+    Io {
+        /// The operation: `"create"`, `"append"`, `"sync"`, `"read"`,
+        /// `"list"`, or `"delete"`.
+        op: &'static str,
+        /// The file involved (empty for directory-wide operations).
+        name: String,
+        /// The underlying error text.
+        detail: String,
+    },
+    /// A file failed its integrity checks beyond the tolerated torn
+    /// tail: a bad magic/version/CRC in a manifest or checkpoint, or a
+    /// checkpoint that decodes into an impossible store.
+    Corrupt {
+        /// The damaged file.
+        name: String,
+        /// What the check found.
+        detail: String,
+    },
+    /// A WAL fault somewhere a crash cannot legitimately put one — any
+    /// fault in a non-final segment, or a non-torn fault anywhere.
+    SegmentFault {
+        /// The damaged segment file.
+        name: String,
+        /// The typed fault (kind, record index, byte offset).
+        fault: WalFault,
+    },
+    /// The directory's recorded layout cannot be recovered (e.g. the
+    /// manifest names a checkpoint that no longer exists).
+    Unrecoverable(String),
+}
+
+impl StorageError {
+    /// Helper: wrap an `std::io::Error` with operation context.
+    pub fn io(op: &'static str, name: &str, err: &std::io::Error) -> Self {
+        StorageError::Io { op, name: name.to_string(), detail: err.to_string() }
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io { op, name, detail } => {
+                write!(f, "{op} {name:?} failed: {detail}")
+            }
+            StorageError::Corrupt { name, detail } => {
+                write!(f, "{name:?} is corrupt: {detail}")
+            }
+            StorageError::SegmentFault { name, fault } => {
+                write!(f, "segment {name:?}: {fault}")
+            }
+            StorageError::Unrecoverable(msg) => write!(f, "unrecoverable layout: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<StorageError> for orsp_types::OrspError {
+    fn from(e: StorageError) -> Self {
+        orsp_types::OrspError::Storage(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_file_and_fault() {
+        let e = StorageError::SegmentFault {
+            name: "s000-0000000000000003.owal".into(),
+            fault: WalFault::BadCrc { index: 7, offset: 544 },
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("s000-0000000000000003.owal"));
+        assert!(msg.contains("record 7"));
+        assert!(msg.contains("544"));
+    }
+
+    #[test]
+    fn converts_into_workspace_error() {
+        let e: orsp_types::OrspError =
+            StorageError::Unrecoverable("no valid manifest".into()).into();
+        assert!(e.to_string().contains("no valid manifest"));
+    }
+}

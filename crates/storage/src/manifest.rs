@@ -1,0 +1,212 @@
+//! The manifest: one small CRC-guarded file that records the
+//! directory's logical layout.
+//!
+//! Format (all integers little-endian):
+//!
+//! ```text
+//! magic   "OMAN"  u32
+//! version u8      (1)
+//! len     u32     payload length
+//! crc     u32     crc32(payload)
+//! payload:
+//!   gen          u64
+//!   shard_count  u32
+//!   checkpoint   u64   (generation + 1; 0 = no checkpoint)
+//!   per shard:
+//!     replay_from u64  first segment seq to replay on recovery
+//!     next_seq    u64  seq the next created segment will use
+//! ```
+//!
+//! Manifests are never modified: each checkpoint writes a *new*
+//! `MANIFEST-{gen}` file, syncs it, and only then deletes older ones.
+//! Recovery takes the newest manifest that parses — a torn or
+//! bit-rotted newest generation silently falls back to its predecessor,
+//! which by construction still describes a consistent (if older)
+//! layout.
+
+use crate::dir::Dir;
+use crate::error::{Result, StorageError};
+use crate::segment::{manifest_name, parse_manifest_name};
+use orsp_server::crc32;
+
+const MANIFEST_MAGIC: u32 = 0x4F4D_414E; // "OMAN"
+const MANIFEST_VERSION: u8 = 1;
+
+/// The decoded layout record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// This manifest's generation (monotonically increasing).
+    pub gen: u64,
+    /// Number of shards the directory was created with. Fixed for the
+    /// lifetime of a data dir; recovery rejects a mismatch.
+    pub shard_count: u32,
+    /// Generation of the checkpoint to load, if any.
+    pub checkpoint: Option<u64>,
+    /// Per shard: the first segment seq whose records are NOT covered
+    /// by the checkpoint and must be replayed.
+    pub replay_from: Vec<u64>,
+    /// Per shard: the seq the next created segment will take.
+    pub next_seq: Vec<u64>,
+}
+
+impl Manifest {
+    /// Serialize to the on-disk layout described in the module docs.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(20 + self.replay_from.len() * 16);
+        payload.extend_from_slice(&self.gen.to_le_bytes());
+        payload.extend_from_slice(&self.shard_count.to_le_bytes());
+        payload.extend_from_slice(&self.checkpoint.map_or(0, |g| g + 1).to_le_bytes());
+        for shard in 0..self.shard_count as usize {
+            payload.extend_from_slice(&self.replay_from[shard].to_le_bytes());
+            payload.extend_from_slice(&self.next_seq[shard].to_le_bytes());
+        }
+        let mut out = Vec::with_capacity(13 + payload.len());
+        out.extend_from_slice(&MANIFEST_MAGIC.to_le_bytes());
+        out.push(MANIFEST_VERSION);
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Decode and integrity-check a manifest buffer.
+    pub fn decode(name: &str, data: &[u8]) -> Result<Manifest> {
+        let corrupt = |detail: &str| StorageError::Corrupt {
+            name: name.to_string(),
+            detail: detail.to_string(),
+        };
+        if data.len() < 13 {
+            return Err(corrupt("shorter than the fixed header"));
+        }
+        if u32::from_le_bytes(data[0..4].try_into().unwrap()) != MANIFEST_MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        if data[4] != MANIFEST_VERSION {
+            return Err(corrupt("unsupported version"));
+        }
+        let len = u32::from_le_bytes(data[5..9].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(data[9..13].try_into().unwrap());
+        if data.len() != 13 + len {
+            return Err(corrupt("payload length mismatch"));
+        }
+        let payload = &data[13..];
+        if crc32(payload) != crc {
+            return Err(corrupt("payload CRC mismatch"));
+        }
+        if payload.len() < 20 {
+            return Err(corrupt("payload too short for fixed fields"));
+        }
+        let gen = u64::from_le_bytes(payload[0..8].try_into().unwrap());
+        let shard_count = u32::from_le_bytes(payload[8..12].try_into().unwrap());
+        let ckpt_raw = u64::from_le_bytes(payload[12..20].try_into().unwrap());
+        let checkpoint = if ckpt_raw == 0 { None } else { Some(ckpt_raw - 1) };
+        if payload.len() != 20 + shard_count as usize * 16 {
+            return Err(corrupt("payload length disagrees with shard count"));
+        }
+        let mut replay_from = Vec::with_capacity(shard_count as usize);
+        let mut next_seq = Vec::with_capacity(shard_count as usize);
+        for shard in 0..shard_count as usize {
+            let at = 20 + shard * 16;
+            replay_from.push(u64::from_le_bytes(payload[at..at + 8].try_into().unwrap()));
+            next_seq.push(u64::from_le_bytes(payload[at + 8..at + 16].try_into().unwrap()));
+        }
+        Ok(Manifest { gen, shard_count, checkpoint, replay_from, next_seq })
+    }
+}
+
+/// Write `MANIFEST-{gen}`, optionally syncing before returning.
+pub fn write_manifest(dir: &dyn Dir, manifest: &Manifest, sync: bool) -> Result<String> {
+    let name = manifest_name(manifest.gen);
+    let mut file = dir.create(&name)?;
+    file.append(&manifest.encode())?;
+    if sync {
+        file.sync()?;
+    }
+    Ok(name)
+}
+
+/// Load the newest manifest that parses, skipping corrupt generations.
+///
+/// Returns `Ok(None)` when the directory holds no manifest at all (a
+/// brand-new data dir, or a crash before the very first manifest write
+/// completed).
+pub fn load_latest(dir: &dyn Dir) -> Result<Option<Manifest>> {
+    let mut gens: Vec<(u64, String)> = dir
+        .list()?
+        .into_iter()
+        .filter_map(|name| parse_manifest_name(&name).map(|gen| (gen, name)))
+        .collect();
+    gens.sort();
+    for (_, name) in gens.into_iter().rev() {
+        let data = dir.read(&name)?;
+        if let Ok(manifest) = Manifest::decode(&name, &data) {
+            return Ok(Some(manifest));
+        }
+        // A torn newest manifest is an expected crash artifact: fall
+        // through to the previous generation.
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::SimDir;
+
+    fn sample(gen: u64) -> Manifest {
+        Manifest {
+            gen,
+            shard_count: 3,
+            checkpoint: if gen > 0 { Some(gen - 1) } else { None },
+            replay_from: vec![2, 0, 5],
+            next_seq: vec![4, 1, 6],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let m = sample(7);
+        let decoded = Manifest::decode("m", &m.encode()).unwrap();
+        assert_eq!(decoded, m);
+        // checkpoint = None round-trips through the 0 sentinel.
+        let m0 = sample(0);
+        assert_eq!(Manifest::decode("m", &m0.encode()).unwrap().checkpoint, None);
+    }
+
+    #[test]
+    fn decode_rejects_each_kind_of_damage() {
+        let good = sample(1).encode();
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        assert!(Manifest::decode("m", &bad).is_err());
+        // Bad version.
+        let mut bad = good.clone();
+        bad[4] = 99;
+        assert!(Manifest::decode("m", &bad).is_err());
+        // Flipped payload byte → CRC mismatch.
+        let mut bad = good.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        assert!(Manifest::decode("m", &bad).is_err());
+        // Truncation → length mismatch.
+        assert!(Manifest::decode("m", &good[..good.len() - 3]).is_err());
+        assert!(Manifest::decode("m", &good[..5]).is_err());
+    }
+
+    #[test]
+    fn load_latest_prefers_newest_and_skips_torn() {
+        let dir = SimDir::new();
+        assert_eq!(load_latest(&dir).unwrap(), None);
+        write_manifest(&dir, &sample(1), true).unwrap();
+        write_manifest(&dir, &sample(2), true).unwrap();
+        assert_eq!(load_latest(&dir).unwrap().unwrap().gen, 2);
+        // A torn generation 3 falls back to generation 2.
+        let name3 = write_manifest(&dir, &sample(3), true).unwrap();
+        dir.truncate_file(&name3, 9);
+        assert_eq!(load_latest(&dir).unwrap().unwrap().gen, 2);
+        // A bit-rotted generation 2 then falls back to generation 1.
+        dir.flip_byte(&manifest_name(2), 20);
+        assert_eq!(load_latest(&dir).unwrap().unwrap().gen, 1);
+    }
+}

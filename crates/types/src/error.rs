@@ -29,6 +29,9 @@ pub enum OrspError {
     NotFound(String),
     /// A configuration value is out of range or inconsistent.
     InvalidConfig(String),
+    /// The durable storage tier failed (I/O error, corrupt segment,
+    /// unrecoverable manifest).
+    Storage(String),
 }
 
 impl fmt::Display for OrspError {
@@ -44,6 +47,7 @@ impl fmt::Display for OrspError {
             OrspError::Crypto(msg) => write!(f, "crypto error: {msg}"),
             OrspError::NotFound(what) => write!(f, "not found: {what}"),
             OrspError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+            OrspError::Storage(msg) => write!(f, "storage error: {msg}"),
         }
     }
 }

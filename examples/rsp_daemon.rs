@@ -6,18 +6,38 @@
 //! ```sh
 //! cargo run --release --example rsp_daemon
 //! ```
+//!
+//! With `--data-dir <path>` the daemon is durable: it opens (or creates)
+//! a segmented-log data directory, recovers whatever survived the last
+//! run, serves with every accepted upload logged through the engine, and
+//! writes a checkpoint at drain. Run it twice against the same directory
+//! and the second run starts from the first run's store:
+//!
+//! ```sh
+//! cargo run --release --example rsp_daemon -- --data-dir /tmp/rsp-data
+//! cargo run --release --example rsp_daemon -- --data-dir /tmp/rsp-data
+//! ```
 
-use orsp_core::{serve, PipelineConfig};
+use orsp_core::{service_for_world_recovered, PipelineConfig};
 use orsp_crypto::TokenWallet;
-use orsp_net::{ClientConfig, NetClient, RemoteIssuer, ServerConfig, TcpTransport};
+use orsp_net::{ClientConfig, NetClient, NetServer, RemoteIssuer, ServerConfig, TcpTransport};
 use orsp_search::SearchQuery;
+use orsp_server::{IngestService, WalSink};
+use orsp_storage::{FsDir, StorageEngine, StorageOptions};
 use orsp_types::rng::rng_for;
 use orsp_types::{
     Category, Cuisine, DeviceId, Interaction, InteractionKind, RecordId, SimDuration, Timestamp,
 };
 use orsp_world::{World, WorldConfig};
+use std::sync::Arc;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let data_dir = args
+        .iter()
+        .position(|a| a == "--data-dir")
+        .map(|i| args.get(i + 1).expect("--data-dir takes a path").clone());
+
     // 1. A synthetic city.
     let config = WorldConfig {
         users_per_zipcode: 40,
@@ -31,16 +51,44 @@ fn main() {
         stats.users, stats.entities, stats.reviews
     );
 
-    // 2. Serve it: the wire-facing service (token mint, ingest, search)
-    //    behind a thread-pool TCP server on an ephemeral loopback port.
+    // 2. Open the durable store, if asked for one, and recover it.
     let pipeline_config = PipelineConfig::default();
-    let (server, service) =
-        serve(&world, &pipeline_config, "127.0.0.1:0", ServerConfig::default())
-            .expect("bind daemon");
+    let (engine, recovered_ingest) = match &data_dir {
+        Some(path) => {
+            let dir = Arc::new(FsDir::open(path).expect("open data dir"));
+            let (engine, report) =
+                StorageEngine::open(dir, StorageOptions::default()).expect("recovery");
+            println!(
+                "storage: {path} recovered — {} records from checkpoint, {} replayed \
+                 from the log, {} torn tail(s) repaired, {}µs",
+                report.records_from_checkpoint,
+                report.records_replayed,
+                report.torn_tails,
+                report.replay_us,
+            );
+            (
+                Some(Arc::new(engine)),
+                IngestService::from_parts(report.store, report.stats),
+            )
+        }
+        None => (None, IngestService::new()),
+    };
+
+    // 3. Serve it: the wire-facing service (token mint, ingest, search)
+    //    behind a thread-pool TCP server on an ephemeral loopback port,
+    //    resuming from the recovered store and logging through the engine.
+    let service = Arc::new(service_for_world_recovered(
+        &world,
+        &pipeline_config,
+        recovered_ingest,
+        engine.clone().map(|e| e as Arc<dyn WalSink>),
+    ));
+    let server = NetServer::bind("127.0.0.1:0", Arc::clone(&service), ServerConfig::default())
+        .expect("bind daemon");
     let addr = server.local_addr();
     println!("daemon: listening on {addr}");
 
-    // 3. Be a device. Everything below crosses the socket.
+    // 4. Be a device. Everything below crosses the socket.
     let mut client = NetClient::connect(addr, ClientConfig::default()).expect("connect");
     client.ping().expect("ping");
     println!("client: connected, server is live");
@@ -124,7 +172,7 @@ fn main() {
         }
     }
 
-    // 4. Drain and exit, dumping the final registry snapshot.
+    // 5. Drain and exit, dumping the final registry snapshot.
     let stats = server.shutdown();
     println!(
         "daemon: drained — {} connections, {} requests, {} shed, {} protocol errors \
@@ -140,4 +188,20 @@ fn main() {
         stats.proto_other,
     );
     println!("daemon: final snapshot\n{}", service.obs().snapshot().render_json());
+
+    // 6. Durable shutdown: checkpoint the drained service's state so the
+    //    next run recovers from the snapshot instead of replaying logs.
+    if let Some(engine) = engine {
+        let service =
+            Arc::try_unwrap(service).ok().expect("server drained, sole service handle");
+        let (_mint, ingest) = service.into_parts();
+        let generation = engine
+            .checkpoint(ingest.store(), &ingest.stats())
+            .expect("checkpoint at drain");
+        println!(
+            "storage: checkpoint generation {generation} written — {} histories, {} accepted",
+            ingest.store().len(),
+            ingest.stats().accepted,
+        );
+    }
 }

@@ -19,6 +19,15 @@ cargo test -q --release -p orsp-net --test wire_proptests
 cargo test -q --release -p orsp-net --test tcp_roundtrip
 cargo test -q --release -p orsp-core --test net_end_to_end
 
+echo "== storage test suites (engine units, crash matrix, served-crash recovery) =="
+cargo test -q --release -p orsp-storage
+cargo test -q --release -p orsp-storage --test crash_matrix
+cargo test -q --release -p orsp-core --test storage_recovery
+
+echo "== recorded storage throughput exists (regenerate: cargo run --release -p orsp-bench --bin storage_throughput) =="
+test -f results/BENCH_storage_throughput.json
+grep -q '"cold_replay_meets_100k_rps": true' results/BENCH_storage_throughput.json
+
 echo "== recorded obs overhead stays under the 3% gate =="
 # The full A/B takes ~20s of steady load; CI checks the recorded result
 # (regenerate with: cargo run --release -p orsp-bench --bin obs_overhead).

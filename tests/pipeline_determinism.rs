@@ -97,3 +97,46 @@ fn repeated_runs_are_stable() {
     let b = run_with_threads(&world, 4);
     assert_eq!(outcome_digest(&a), outcome_digest(&b));
 }
+
+#[test]
+fn durability_changes_nothing_at_any_thread_count() {
+    // Durable logging is write-only with respect to the pipeline: with a
+    // storage engine attached, the outcome digest stays bit-identical to
+    // the undecorated baseline at 1, 2, and 8 threads — and the log the
+    // engine wrote recovers into exactly the store the pipeline built.
+    use orsp_storage::{SimDir, StorageEngine, StorageOptions};
+    use std::sync::Arc;
+
+    let world = test_world();
+    let baseline_digest = outcome_digest(&run_with_threads(&world, 1));
+
+    for threads in [1, 2, 8] {
+        let dir = SimDir::new();
+        let (engine, report) =
+            StorageEngine::open(Arc::new(dir.clone()), StorageOptions::default()).unwrap();
+        assert_eq!(report.records_replayed, 0);
+        let pipeline =
+            RspPipeline::new(PipelineConfig { threads, ..PipelineConfig::default() });
+        let outcome = pipeline.run_logged(&world, Some(&engine));
+        assert_eq!(
+            outcome_digest(&outcome),
+            baseline_digest,
+            "durable logging perturbed the outcome at {threads} threads"
+        );
+
+        // Reboot: the log replays into the full accepted set.
+        drop(engine);
+        let (_, recovered) =
+            StorageEngine::open(Arc::new(dir.reopen()), StorageOptions::default()).unwrap();
+        assert_eq!(
+            recovered.stats.accepted,
+            outcome.ingest.stats().accepted,
+            "recovered accepted count diverges at {threads} threads"
+        );
+        assert_eq!(
+            recovered.store.total_interactions() as u64,
+            recovered.stats.accepted,
+            "one logged record per accepted upload"
+        );
+    }
+}
