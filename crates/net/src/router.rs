@@ -49,7 +49,10 @@ struct ServiceState {
     inferred: HashMap<EntityId, StarHistogram>,
     /// Durability hook: every accepted upload is logged here before the
     /// response is sent, so a crash after `UploadAccepted` cannot lose
-    /// the record (with `FsyncPolicy::Always`).
+    /// the record (with `FsyncPolicy::Always`). If the log append
+    /// *fails*, the upload is already applied in memory and the client
+    /// receives an `Error` that says so — "applied but possibly not
+    /// durable", not "rejected".
     wal: Option<Arc<dyn WalSink>>,
 }
 
@@ -105,6 +108,12 @@ impl RouterMetrics {
 /// The wire-facing RSP service: every RPC lands here.
 pub struct RspService {
     state: Mutex<ServiceState>,
+    /// Serializes WAL appends in admission order without holding the
+    /// service lock across the disk fsync: an upload acquires this
+    /// *before* releasing `state`, so the log order equals the apply
+    /// order (replay would reject same-record appends out of order),
+    /// while search/ping/token RPCs proceed during the fsync.
+    wal_order: Mutex<()>,
     config: ServiceConfig,
     obs: Arc<Registry>,
     metrics: RouterMetrics,
@@ -147,6 +156,7 @@ impl RspService {
                 inferred: HashMap::new(),
                 wal: None,
             }),
+            wal_order: Mutex::new(()),
             config,
             obs,
             metrics,
@@ -155,6 +165,12 @@ impl RspService {
 
     /// Attach a durability sink: from now on every accepted upload is
     /// logged through it before the `UploadAccepted` response exists.
+    ///
+    /// Failure semantics: a sink error after admission produces
+    /// `Response::Error` meaning *applied but possibly not durable* —
+    /// the token is spent and the interaction is stored in memory, so a
+    /// client retrying with a fresh token would append the interaction
+    /// twice. The error is a durability warning, not a rejection.
     pub fn set_durability(&self, sink: Arc<dyn WalSink>) {
         self.state.lock().wal = Some(sink);
     }
@@ -206,23 +222,42 @@ impl RspService {
                 }
             }
             Request::Upload { upload, now } => {
-                let state = &mut *self.state.lock();
+                let mut guard = self.state.lock();
+                let state = &mut *guard;
                 match state.ingest.ingest(&upload, &mut state.mint, now) {
                     Ok(()) => {
                         self.metrics.ingest_accepted_total.inc();
-                        if let Some(wal) = &state.wal {
+                        let wal = state.wal.clone();
+                        if let Some(wal) = wal {
                             let entry = WalEntry {
                                 record_id: upload.record_id,
                                 entity: upload.entity,
                                 interaction: upload.interaction,
                             };
-                            if let Err(e) = wal.log_append(&entry) {
-                                // Accepted in memory but not durable:
-                                // tell the client the truth rather than
-                                // promise durability we cannot provide.
+                            // Lock handoff: take the WAL order lock,
+                            // then release the service lock, so the
+                            // fsync (under FsyncPolicy::Always, one per
+                            // accepted upload) stalls only other
+                            // uploads' logging — never search, ping, or
+                            // token issuance.
+                            let order = self.wal_order.lock();
+                            drop(guard);
+                            let logged = wal.log_append(&entry);
+                            drop(order);
+                            if let Err(e) = logged {
+                                // The upload is applied in memory (the
+                                // token is spent, the interaction is
+                                // stored) but may not survive a
+                                // restart. Surface that honestly; the
+                                // client must NOT retry with a fresh
+                                // token — the retry would be a second
+                                // append, not a replacement.
                                 self.metrics.durability_errors_total.inc();
                                 return Response::Error {
-                                    detail: format!("durability failure: {e}"),
+                                    detail: format!(
+                                        "durability failure (upload applied but \
+                                         possibly not durable; do not retry): {e}"
+                                    ),
                                 };
                             }
                         }

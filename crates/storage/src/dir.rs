@@ -11,12 +11,21 @@
 //! Contract notes:
 //! * names are flat (no subdirectories) and match
 //!   [`crate::segment`]'s naming scheme;
-//! * files are append-only — there is no seek or overwrite, because the
-//!   log format never needs one;
+//! * files are append-only — there is no seek or overwrite; `truncate`
+//!   may only shorten a file, which is the one in-place mutation the
+//!   recovery protocol needs (discarding a torn tail);
 //! * `read` returns the whole file (segments are bounded by the
 //!   rotation threshold, so this stays cheap);
-//! * durability is explicit: bytes are guaranteed to survive a crash
-//!   only after `sync` returns.
+//! * durability is explicit for *contents*: appended bytes are
+//!   guaranteed to survive a crash only after `sync` returns;
+//! * durability is implicit for *metadata*: `create`, `delete`, and
+//!   `truncate` are crash-durable when they return. [`FsDir`] enforces
+//!   this by fsyncing the parent directory after creating or deleting a
+//!   file (a synced file whose directory entry was never synced is not
+//!   findable after a power cut) and by fsyncing the file after
+//!   shortening it. The engine's layout protocol (checkpoint → rotate →
+//!   manifest → sweep) is crash-ordered only because each of those
+//!   steps is durable before the next begins.
 
 use crate::error::{Result, StorageError};
 use std::fs;
@@ -39,20 +48,31 @@ pub trait SegmentFile: Send {
 
 /// A flat directory of append-only files.
 pub trait Dir: Send + Sync {
-    /// Create (or truncate) a file and return a writer for it.
+    /// Create (or truncate to empty) a file and return a writer for it.
+    /// The directory entry is crash-durable when this returns.
     fn create(&self, name: &str) -> Result<Box<dyn SegmentFile>>;
     /// Read a whole file.
     fn read(&self, name: &str) -> Result<Vec<u8>>;
     /// All file names, sorted.
     fn list(&self) -> Result<Vec<String>>;
-    /// Delete a file (an error if it does not exist).
+    /// Delete a file (an error if it does not exist). The deletion is
+    /// crash-durable when this returns.
     fn delete(&self, name: &str) -> Result<()>;
+    /// Shorten an existing file to `len` bytes, durably: the new length
+    /// has reached disk when this returns. Lengthening is not supported;
+    /// a `len` at or past the current size is a no-op. This is the
+    /// repair primitive — unlike delete-and-rewrite it can never lose
+    /// the surviving prefix, whatever instant the process dies.
+    fn truncate(&self, name: &str, len: u64) -> Result<()>;
 }
 
 /// Real files under one root directory.
 ///
 /// `create` opens with truncation, `sync` maps to `File::sync_data`,
 /// and `list` reports plain files only. The root is created on open.
+/// `create` and `delete` fsync the root directory before returning so
+/// the entry change survives a power cut (on non-unix targets the
+/// directory fsync is skipped — entry durability is then best-effort).
 pub struct FsDir {
     root: PathBuf,
 }
@@ -73,6 +93,20 @@ impl FsDir {
 
     fn path_of(&self, name: &str) -> PathBuf {
         self.root.join(name)
+    }
+
+    /// Fsync the directory itself so entry creations/deletions are
+    /// durable — file-content fsync alone does not persist the entry
+    /// that names the file.
+    fn sync_root(&self) -> Result<()> {
+        #[cfg(unix)]
+        {
+            let dir = fs::File::open(&self.root)
+                .map_err(|e| StorageError::io("sync-dir", &self.root.to_string_lossy(), &e))?;
+            dir.sync_all()
+                .map_err(|e| StorageError::io("sync-dir", &self.root.to_string_lossy(), &e))?;
+        }
+        Ok(())
     }
 }
 
@@ -102,6 +136,7 @@ impl Dir for FsDir {
     fn create(&self, name: &str) -> Result<Box<dyn SegmentFile>> {
         let file = fs::File::create(self.path_of(name))
             .map_err(|e| StorageError::io("create", name, &e))?;
+        self.sync_root()?;
         Ok(Box::new(FsFile { file, name: name.to_string(), len: 0 }))
     }
 
@@ -128,7 +163,26 @@ impl Dir for FsDir {
     }
 
     fn delete(&self, name: &str) -> Result<()> {
-        fs::remove_file(self.path_of(name)).map_err(|e| StorageError::io("delete", name, &e))
+        fs::remove_file(self.path_of(name))
+            .map_err(|e| StorageError::io("delete", name, &e))?;
+        self.sync_root()
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> Result<()> {
+        let file = fs::OpenOptions::new()
+            .write(true)
+            .open(self.path_of(name))
+            .map_err(|e| StorageError::io("truncate", name, &e))?;
+        let current = file
+            .metadata()
+            .map_err(|e| StorageError::io("truncate", name, &e))?
+            .len();
+        if len >= current {
+            return Ok(());
+        }
+        file.set_len(len).map_err(|e| StorageError::io("truncate", name, &e))?;
+        // sync_all, not sync_data: the new length is metadata.
+        file.sync_all().map_err(|e| StorageError::io("truncate", name, &e))
     }
 }
 
@@ -160,6 +214,26 @@ mod tests {
         dir.delete("a.owal").unwrap();
         assert!(dir.list().unwrap().is_empty());
         assert!(dir.read("a.owal").is_err());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn fsdir_truncate_shortens_durably_and_never_lengthens() {
+        let root = scratch("trunc-op");
+        let _ = fs::remove_dir_all(&root);
+        let dir = FsDir::open(&root).unwrap();
+        let mut f = dir.create("seg").unwrap();
+        f.append(b"0123456789").unwrap();
+        f.sync().unwrap();
+        drop(f);
+        dir.truncate("seg", 4).unwrap();
+        assert_eq!(dir.read("seg").unwrap(), b"0123");
+        // At-or-past the current length is a no-op, not an extension.
+        dir.truncate("seg", 100).unwrap();
+        assert_eq!(dir.read("seg").unwrap(), b"0123");
+        dir.truncate("seg", 0).unwrap();
+        assert_eq!(dir.read("seg").unwrap(), b"");
+        assert!(dir.truncate("missing", 0).is_err());
         let _ = fs::remove_dir_all(&root);
     }
 

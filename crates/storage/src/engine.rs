@@ -29,12 +29,14 @@
 //! decodes its checkpoint (if any), and replays every segment at or
 //! past each shard's replay frontier. A torn tail is tolerated **only
 //! in the final segment of a shard** — that is the one place a crash
-//! can legitimately cut a log — and the damaged tail is repaired
-//! (rewritten to its valid prefix) so the next recovery sees a clean
-//! segment. Any fault elsewhere, or any non-torn fault, is refused as
-//! real corruption. With no manifest at all (a crash before the very
-//! first manifest write), every segment present is scan-replayed under
-//! the same tail rule.
+//! can legitimately cut a log — and the damaged tail is repaired by
+//! durably *truncating* the file to its valid prefix (never by
+//! rewriting it, which would put acknowledged records at risk if
+//! recovery itself crashed) so the next recovery sees a clean segment.
+//! Any fault elsewhere, or any non-torn fault, is refused as real
+//! corruption. With no manifest at all (a crash before the very first
+//! manifest write), every segment present is scan-replayed under the
+//! same tail rule.
 
 use crate::checkpoint::{decode_checkpoint, encode_checkpoint};
 use crate::dir::Dir;
@@ -235,7 +237,12 @@ impl StorageEngine {
                 fresh_seq[shard] = fresh_seq[shard].max(seq + 1);
                 let data = dir.read(name)?;
                 let is_final = i == last;
-                let entries = if data.len() < orsp_server::WAL_HEADER_LEN {
+                let entries = if data.is_empty() {
+                    // A crash between segment creation and its header
+                    // write, or the durable result of repairing one:
+                    // holds nothing, wherever it sits in the sequence.
+                    Vec::new()
+                } else if data.len() < orsp_server::WAL_HEADER_LEN {
                     // A crash can cut the 5-byte header itself.
                     if !is_final {
                         return Err(StorageError::Corrupt {
@@ -247,7 +254,7 @@ impl StorageEngine {
                         });
                     }
                     torn_tails += 1;
-                    repair_segment(dir.as_ref(), name, &[])?;
+                    repair_segment(dir.as_ref(), name, 0)?;
                     Vec::new()
                 } else {
                     let replayed = replay(&data).map_err(|e| StorageError::Corrupt {
@@ -258,7 +265,9 @@ impl StorageEngine {
                         None => replayed.entries,
                         Some(fault) if fault.is_torn_tail() && is_final => {
                             torn_tails += 1;
-                            repair_segment(dir.as_ref(), name, &replayed.entries)?;
+                            // The fault offset is where the torn record
+                            // starts — exactly the valid prefix length.
+                            repair_segment(dir.as_ref(), name, fault.offset())?;
                             replayed.entries
                         }
                         Some(fault) => {
@@ -444,18 +453,22 @@ impl WalSink for StorageEngine {
     }
 }
 
-/// Rewrite a torn segment as its valid prefix (header + `entries`),
-/// synced, so later recoveries see a clean non-final segment.
-fn repair_segment(dir: &dyn Dir, name: &str, entries: &[WalEntry]) -> Result<()> {
-    let (shard, seq) = parse_segment_name(name).ok_or_else(|| StorageError::Corrupt {
-        name: name.to_string(),
-        detail: "unparseable segment name".to_string(),
-    })?;
-    let mut writer = SegmentWriter::create(dir, shard, seq)?;
-    for entry in entries {
-        writer.append(entry)?;
-    }
-    writer.sync()
+/// Repair a torn segment by durably truncating it to its valid prefix
+/// (`valid_len` bytes), so later recoveries see a clean non-final
+/// segment.
+///
+/// Truncation — never rewrite. A rewrite (create-truncates-then-append)
+/// destroys the only durable copy of fsynced, acknowledged records for
+/// the duration of the rewrite: a crash *during recovery itself* (a
+/// crash loop) would silently lose them, and the next recovery would
+/// accept the shorter file as an ordinary torn tail. Truncating can
+/// only ever discard the torn bytes past the last complete record; a
+/// crash mid-repair leaves either the still-torn file (repaired again
+/// next time — the segment is still the shard's final one, because
+/// fresh segments are only created after every repair is durable) or
+/// the repaired one.
+fn repair_segment(dir: &dyn Dir, name: &str, valid_len: u64) -> Result<()> {
+    dir.truncate(name, valid_len)
 }
 
 #[cfg(test)]

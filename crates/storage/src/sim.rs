@@ -271,6 +271,29 @@ impl Dir for SimDir {
             detail: "no such file".into(),
         })
     }
+
+    fn truncate(&self, name: &str, len: u64) -> Result<()> {
+        let mut state = self.state.lock();
+        if state.crashed {
+            return Err(StorageError::Io {
+                op: "truncate",
+                name: name.to_string(),
+                detail: "simulated crash".into(),
+            });
+        }
+        let file = state.files.get_mut(name).ok_or_else(|| StorageError::Io {
+            op: "truncate",
+            name: name.to_string(),
+            detail: "no such file".into(),
+        })?;
+        if (len as usize) < file.data.len() {
+            file.data.truncate(len as usize);
+            // Models FsDir's set_len + sync_all: the whole surviving
+            // file is durable once truncate returns.
+            file.synced = file.data.len();
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -345,6 +368,24 @@ mod tests {
         let mut g = rebooted.create("b").unwrap();
         g.append(b"fresh").unwrap();
         assert_eq!(rebooted.read("b").unwrap(), b"fresh");
+    }
+
+    #[test]
+    fn truncate_is_durable_and_crash_gated() {
+        let dir = SimDir::with_plan(FaultPlan {
+            lose_unsynced_on_crash: true,
+            ..FaultPlan::default()
+        });
+        let mut f = dir.create("a").unwrap();
+        f.append(b"durable").unwrap();
+        f.sync().unwrap();
+        f.append(b" volatile").unwrap();
+        dir.truncate("a", 4).unwrap();
+        dir.crash_now();
+        // The truncated length survives the crash — truncate syncs.
+        assert_eq!(dir.reopen().read("a").unwrap(), b"dura");
+        // A dead device refuses further truncates.
+        assert!(dir.truncate("a", 1).is_err());
     }
 
     #[test]

@@ -6,7 +6,10 @@
 //! engine ever writes (manifest, segment headers, record interiors,
 //! checkpoint, all of it), so there is no "unlucky offset" left to
 //! find: if a crash window existed, one of these iterations would land
-//! in it.
+//! in it. A second sweep kills *recovery itself* at every byte it
+//! writes — the crash-loop case — because recovery performs writes of
+//! its own (torn-tail repairs, fresh segments, a fresh manifest) and
+//! must be just as interruption-proof as normal operation.
 
 use orsp_server::{HistoryStore, IngestStats, WalEntry};
 use orsp_storage::{Dir, FaultPlan, FsDir, FsyncPolicy, SimDir, StorageEngine, StorageOptions};
@@ -143,6 +146,62 @@ fn every_byte_cut_through_a_checkpoint_preserves_accepted_records() {
             stores_equal(&report.store, &store),
             "cut at byte {cut}: recovered store differs from the accepted set"
         );
+    }
+}
+
+#[test]
+fn every_byte_cut_through_recovery_itself_preserves_the_prefix() {
+    // Recovery writes too: torn-tail repairs, fresh segment headers, a
+    // fresh manifest, old-manifest deletion. A crash loop — the process
+    // dying *during recovery*, repeatedly — must never lose a record
+    // that an earlier run fsynced and acknowledged. The sweep: tear the
+    // operational run at a spread of byte offsets, then for each torn
+    // directory walk a second kill line over every byte recovery itself
+    // writes, and check a final clean recovery still rebuilds exactly
+    // the accepted prefix.
+    const N: u16 = 24;
+    let options = || opts(1, 1 << 20, FsyncPolicy::Always);
+
+    let clean = SimDir::new();
+    assert_eq!(run_until_crash(&clean, options(), N), N as usize);
+    let total = clean.bytes_written();
+
+    // Stride 11 over the tear points keeps the sweep affordable while
+    // the inner loop stays byte-exhaustive over recovery's own writes.
+    for tear in (0..=total).step_by(11) {
+        let dir = SimDir::with_plan(FaultPlan::crash_at(tear));
+        run_until_crash(&dir, options(), N);
+
+        // Probe replica: how many records should survive, and how many
+        // bytes does a full recovery of this exact directory write?
+        let probe = dir.reopen();
+        let (_, probe_report) = StorageEngine::open(Arc::new(probe.clone()), options())
+            .unwrap_or_else(|e| panic!("tear at byte {tear}: probe recovery failed: {e}"));
+        let surviving = probe_report.records_replayed as usize;
+        let recovery_bytes = probe.bytes_written();
+
+        for cut in 0..=recovery_bytes {
+            let wounded = dir.reopen_with(FaultPlan::crash_at(cut));
+            // This recovery may die anywhere in its own writes (repair,
+            // fresh segments, manifest). Whether it does or not, nothing
+            // durable may be lost.
+            let _ = StorageEngine::open(Arc::new(wounded.clone()), options());
+            let (_, report) = StorageEngine::open(Arc::new(wounded.reopen()), options())
+                .unwrap_or_else(|e| {
+                    panic!("tear {tear}, recovery cut {cut}: final recovery failed: {e}")
+                });
+            assert_eq!(
+                report.records_replayed as usize, surviving,
+                "tear {tear}, recovery cut {cut}: expected {surviving} records, \
+                 got {}",
+                report.records_replayed
+            );
+            assert!(
+                stores_equal(&report.store, &reference_store(surviving)),
+                "tear {tear}, recovery cut {cut}: recovered store differs from the \
+                 clean {surviving}-record prefix"
+            );
+        }
     }
 }
 

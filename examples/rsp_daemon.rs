@@ -10,8 +10,11 @@
 //! With `--data-dir <path>` the daemon is durable: it opens (or creates)
 //! a segmented-log data directory, recovers whatever survived the last
 //! run, serves with every accepted upload logged through the engine, and
-//! writes a checkpoint at drain. Run it twice against the same directory
-//! and the second run starts from the first run's store:
+//! writes a checkpoint at drain. Segments fsync per append by default
+//! (`--fsync always`), which is what makes the served acknowledgement a
+//! durability promise; `--fsync on-rotate|never` trade that promise for
+//! throughput. Run it twice against the same directory and the second
+//! run starts from the first run's store:
 //!
 //! ```sh
 //! cargo run --release --example rsp_daemon -- --data-dir /tmp/rsp-data
@@ -23,7 +26,7 @@ use orsp_crypto::TokenWallet;
 use orsp_net::{ClientConfig, NetClient, NetServer, RemoteIssuer, ServerConfig, TcpTransport};
 use orsp_search::SearchQuery;
 use orsp_server::{IngestService, WalSink};
-use orsp_storage::{FsDir, StorageEngine, StorageOptions};
+use orsp_storage::{FsDir, FsyncPolicy, StorageEngine, StorageOptions};
 use orsp_types::rng::rng_for;
 use orsp_types::{
     Category, Cuisine, DeviceId, Interaction, InteractionKind, RecordId, SimDuration, Timestamp,
@@ -37,6 +40,19 @@ fn main() {
         .iter()
         .position(|a| a == "--data-dir")
         .map(|i| args.get(i + 1).expect("--data-dir takes a path").clone());
+    // The served ack promises that an accepted upload survives a crash;
+    // only Always actually delivers that, so it is the default. The
+    // flag exists for throughput experiments that accept bounded loss.
+    let fsync = match args
+        .iter()
+        .position(|a| a == "--fsync")
+        .map(|i| args.get(i + 1).expect("--fsync takes a policy").as_str())
+    {
+        None | Some("always") => FsyncPolicy::Always,
+        Some("on-rotate") => FsyncPolicy::OnRotate,
+        Some("never") => FsyncPolicy::Never,
+        Some(other) => panic!("--fsync must be always|on-rotate|never, got {other}"),
+    };
 
     // 1. A synthetic city.
     let config = WorldConfig {
@@ -56,8 +72,8 @@ fn main() {
     let (engine, recovered_ingest) = match &data_dir {
         Some(path) => {
             let dir = Arc::new(FsDir::open(path).expect("open data dir"));
-            let (engine, report) =
-                StorageEngine::open(dir, StorageOptions::default()).expect("recovery");
+            let options = StorageOptions { fsync, ..StorageOptions::default() };
+            let (engine, report) = StorageEngine::open(dir, options).expect("recovery");
             println!(
                 "storage: {path} recovered — {} records from checkpoint, {} replayed \
                  from the log, {} torn tail(s) repaired, {}µs",
