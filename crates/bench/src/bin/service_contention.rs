@@ -1,0 +1,304 @@
+//! Service contention — what an upload + fsync stream does to search.
+//!
+//! The PR-5 router decomposes the old global service lock into mint /
+//! read / ingest domains, so a search RPC never waits on an upload's
+//! fsync. This harness measures that claim: the same search workload is
+//! timed twice against one in-process service —
+//!
+//! 1. **quiet**: no other traffic;
+//! 2. **contended**: uploader threads streaming token-authenticated
+//!    uploads through a real `orsp-storage` engine with
+//!    `FsyncPolicy::Always` (every accepted upload pays a disk fsync
+//!    before its response exists).
+//!
+//! Under the old single `Mutex<ServiceState>` every search in phase 2
+//! would queue behind in-flight fsyncs — p99 would track fsync latency
+//! (hundreds of microseconds to milliseconds). With domain partitioning
+//! the two phases should differ only by CPU competition. Reports
+//! p50/p99 (nanoseconds — an in-process search is sub-microsecond) for
+//! both phases and writes `results/BENCH_service_contention.json`.
+//!
+//! ```sh
+//! cargo run --release -p orsp-bench --bin service_contention
+//! cargo run --release -p orsp-bench --bin service_contention -- --seconds 4 --uploaders 4
+//! ```
+
+use orsp_bench::{arg_u64, f, header, seed_from_args};
+use orsp_core::{service_for_world_sharded, PipelineConfig};
+use orsp_crypto::{BlindingSession, Token};
+use orsp_net::{Request, Response, RspService};
+use orsp_search::SearchQuery;
+use orsp_server::{IngestService, WalSink};
+use orsp_storage::{FsDir, FsyncPolicy, StorageEngine, StorageOptions};
+use orsp_types::rng::rng_for;
+use orsp_types::{
+    Category, DeviceId, EntityId, Interaction, InteractionKind, RecordId, SimDuration,
+    Timestamp,
+};
+use orsp_world::{World, WorldConfig};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let seed = seed_from_args();
+    let seconds = arg_u64("seconds", 2);
+    let uploaders = arg_u64("uploaders", 2) as usize;
+    let tokens_per_uploader = arg_u64("uploads", 8_000) as usize;
+    let shards = arg_u64("shards", 8) as usize;
+    header("CONTENTION", "search latency with and without an upload+fsync stream");
+
+    let world = World::generate(WorldConfig {
+        users_per_zipcode: 30,
+        horizon: SimDuration::days(60),
+        ..WorldConfig::tiny(seed)
+    })
+    .unwrap();
+    let config = PipelineConfig::default();
+
+    // A real durability sink: accepted uploads fsync before they ack.
+    let root = std::path::Path::new("target/service-contention-bench");
+    let _ = std::fs::remove_dir_all(root);
+    let options = StorageOptions {
+        shard_count: shards as u32,
+        fsync: FsyncPolicy::Always,
+        ..StorageOptions::default()
+    };
+    let (engine, _) =
+        StorageEngine::open(Arc::new(FsDir::open(root).expect("open data dir")), options)
+            .expect("fresh engine");
+    let engine = Arc::new(engine);
+    let service = service_for_world_sharded(
+        &world,
+        &config,
+        IngestService::new(),
+        Some(Arc::clone(&engine) as Arc<dyn WalSink>),
+        shards,
+    );
+    println!(
+        "\nservice: {} ingest shards, {} listings indexed, fsync-always engine at {}",
+        service.ingest_shards(),
+        world.entities.len(),
+        root.display()
+    );
+
+    // Pre-mint the whole upload budget (fresh device per token — the
+    // rate limiter never engages) so the contended phase spends its time
+    // on ingest + fsync, not RSA issuance.
+    let mut rng = rng_for(seed, "contention-mint");
+    let public = service.mint_public_key();
+    let total_tokens = uploaders * tokens_per_uploader;
+    let mut tokens: Vec<Token> = Vec::with_capacity(total_tokens);
+    for i in 0..total_tokens {
+        let mut message = [0u8; 32];
+        rng.fill(&mut message);
+        let (session, blinded) = BlindingSession::blind(&mut rng, &public, &message);
+        let signature = match service.handle(Request::IssueToken {
+            device: DeviceId::new(1_000_000 + i as u64),
+            blinded,
+            now: Timestamp::EPOCH,
+        }) {
+            Response::TokenIssued { signature } => signature,
+            other => panic!("mint: {other:?}"),
+        };
+        let signature = session.unblind(&signature).expect("unblind");
+        tokens.push(Token { message, signature });
+    }
+    println!("pre-minted {total_tokens} tokens for {uploaders} uploader thread(s)");
+
+    // -- Phase 1: quiet ------------------------------------------------
+    let zipcodes: Vec<u32> = world.zipcodes.iter().map(|z| z.code).collect();
+    let categories = Category::all_physical();
+    let deadline = Duration::from_secs(seconds);
+    let quiet = measure_searches(
+        &service,
+        deadline,
+        &mut rng_for(seed, "contention-search-quiet"),
+        &zipcodes,
+        &categories,
+    );
+    println!("\n-- quiet: {seconds}s of searches, no other traffic --");
+    report(&quiet);
+
+    // -- Phase 2: contended --------------------------------------------
+    let stop = AtomicBool::new(false);
+    let uploaded = AtomicU64::new(0);
+    let mut contended = Latencies::default();
+    std::thread::scope(|s| {
+        for (t, chunk) in tokens.chunks(tokens_per_uploader).enumerate() {
+            let service = &service;
+            let stop = &stop;
+            let uploaded = &uploaded;
+            s.spawn(move || {
+                for (i, token) in chunk.iter().enumerate() {
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let serial = (t * tokens_per_uploader + i) as u64;
+                    let mut id = [0u8; 32];
+                    id[..8].copy_from_slice(&serial.to_le_bytes());
+                    id[16] = 0xC7;
+                    let upload = orsp_client::UploadRequest {
+                        record_id: RecordId::from_bytes(id),
+                        entity: EntityId::new(1 + serial % 997),
+                        interaction: Interaction::solo(
+                            InteractionKind::Visit,
+                            Timestamp::EPOCH,
+                            SimDuration::minutes(30),
+                            700.0,
+                        ),
+                        token: token.clone(),
+                        release_at: Timestamp::EPOCH,
+                    };
+                    match service.handle(Request::Upload { upload, now: Timestamp::EPOCH }) {
+                        Response::UploadAccepted => {
+                            uploaded.fetch_add(1, Ordering::Relaxed);
+                        }
+                        other => panic!("uploader {t}: {other:?}"),
+                    }
+                }
+            });
+        }
+        contended = measure_searches(
+            &service,
+            deadline,
+            &mut rng_for(seed, "contention-search-loaded"),
+            &zipcodes,
+            &categories,
+        );
+        stop.store(true, Ordering::Release);
+    });
+    let uploads_during = uploaded.load(Ordering::Relaxed);
+    let budget_exhausted = uploads_during == total_tokens as u64;
+    println!(
+        "\n-- contended: {seconds}s of searches vs {uploaders} uploader(s), \
+         {uploads_during} fsync'd uploads landed{} --",
+        if budget_exhausted { " (budget ran dry; raise --uploads for full overlap)" } else { "" }
+    );
+    report(&contended);
+    assert!(
+        uploads_during > 0,
+        "the contended phase must actually overlap an upload stream"
+    );
+
+    let stats = service.ingest_stats();
+    assert_eq!(stats.accepted, uploads_during, "every counted upload was accepted");
+    engine.sync_all().expect("final sync");
+
+    let ratio = if quiet.p99_ns > 0 {
+        contended.p99_ns as f64 / quiet.p99_ns as f64
+    } else {
+        0.0
+    };
+    println!(
+        "\nsearch p99: quiet {}ns -> contended {}ns ({}x)",
+        quiet.p99_ns,
+        contended.p99_ns,
+        f(ratio)
+    );
+    println!(
+        "(CPU competition is expected on small machines; a lock convoy would instead \
+         push p99 up to the fsync latency itself, hundreds of microseconds)"
+    );
+
+    write_json(seed, seconds, uploaders, shards, uploads_during, &quiet, &contended, ratio);
+}
+
+#[derive(Default)]
+struct Latencies {
+    count: u64,
+    secs: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    max_ns: u64,
+}
+
+fn report(l: &Latencies) {
+    println!(
+        "{} searches in {}s -> {} req/s   p50 {}ns  p99 {}ns  max {}ns",
+        l.count,
+        f(l.secs),
+        f(if l.secs > 0.0 { l.count as f64 / l.secs } else { 0.0 }),
+        l.p50_ns,
+        l.p99_ns,
+        l.max_ns
+    );
+}
+
+fn measure_searches(
+    service: &RspService,
+    deadline: Duration,
+    rng: &mut StdRng,
+    zipcodes: &[u32],
+    categories: &[Category],
+) -> Latencies {
+    let mut samples: Vec<u64> = Vec::with_capacity(1 << 20);
+    let begin = Instant::now();
+    while begin.elapsed() < deadline {
+        let query = SearchQuery {
+            zipcode: zipcodes[rng.gen_range(0..zipcodes.len())],
+            category: categories[rng.gen_range(0..categories.len())],
+        };
+        let t0 = Instant::now();
+        match service.handle(Request::Search { query }) {
+            Response::SearchResults { .. } => {}
+            other => panic!("search: {other:?}"),
+        }
+        samples.push(t0.elapsed().as_nanos() as u64);
+    }
+    let secs = begin.elapsed().as_secs_f64();
+    samples.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if samples.is_empty() {
+            return 0;
+        }
+        samples[((samples.len() as f64 - 1.0) * p).round() as usize]
+    };
+    Latencies {
+        count: samples.len() as u64,
+        secs,
+        p50_ns: pct(0.50),
+        p99_ns: pct(0.99),
+        max_ns: samples.last().copied().unwrap_or(0),
+    }
+}
+
+/// Hand-rolled JSON (the workspace has no serde_json): flat and stable.
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    seed: u64,
+    seconds: u64,
+    uploaders: usize,
+    shards: usize,
+    uploads: u64,
+    quiet: &Latencies,
+    contended: &Latencies,
+    ratio: f64,
+) {
+    let phase = |l: &Latencies| {
+        format!(
+            "{{\"searches\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}",
+            l.count, l.p50_ns, l.p99_ns, l.max_ns
+        )
+    };
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"service_contention\",\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"seconds_per_phase\": {seconds},\n"));
+    out.push_str(&format!("  \"uploaders\": {uploaders},\n"));
+    out.push_str(&format!("  \"ingest_shards\": {shards},\n"));
+    out.push_str("  \"fsync\": \"always\",\n");
+    out.push_str(&format!("  \"uploads_during_contended_phase\": {uploads},\n"));
+    out.push_str(&format!("  \"quiet\": {},\n", phase(quiet)));
+    out.push_str(&format!("  \"contended\": {},\n", phase(contended)));
+    out.push_str(&format!("  \"p99_ratio_contended_over_quiet\": {ratio:.2}\n"));
+    out.push_str("}\n");
+
+    let path = "results/BENCH_service_contention.json";
+    match std::fs::write(path, &out) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => println!("could not write {path}: {e}"),
+    }
+}

@@ -36,7 +36,7 @@ pub use directory::{category_map, directory_entries, listings};
 pub use pipeline::{PipelineConfig, PipelineOutcome, RspPipeline};
 pub use serve::{
     complete_served, run_client_side, serve, service_for_world, service_for_world_recovered,
-    ServedRun,
+    service_for_world_sharded, ServedRun,
 };
 
 /// Convenience re-exports of the crates behind the facade.

@@ -52,6 +52,29 @@ pub fn service_for_world_recovered(
     ingest: orsp_server::IngestService,
     sink: Option<Arc<dyn orsp_server::WalSink>>,
 ) -> RspService {
+    service_for_world_sharded(
+        world,
+        config,
+        ingest,
+        sink,
+        ServiceConfig::default().ingest_shards,
+    )
+}
+
+/// [`service_for_world_recovered`] with an explicit ingest-shard count.
+///
+/// Align `ingest_shards` with the storage engine's shard count
+/// (`StorageEngine::shard_count()`) and each ingest shard's accepted
+/// uploads land in exactly its own on-disk segment log — the two layers
+/// route by the same `shard_index(record_id)` function, so equal counts
+/// mean equal partitions and zero cross-shard lock traffic in the sink.
+pub fn service_for_world_sharded(
+    world: &World,
+    config: &PipelineConfig,
+    ingest: orsp_server::IngestService,
+    sink: Option<Arc<dyn orsp_server::WalSink>>,
+    ingest_shards: usize,
+) -> RspService {
     let mut rng = rng_for(world.config.seed, "pipeline");
     let mint = TokenMint::new(
         &mut rng,
@@ -68,7 +91,7 @@ pub fn service_for_world_recovered(
         SearchIndex::build(listings(world)),
         explicit,
         Ranker::default(),
-        ServiceConfig::default(),
+        ServiceConfig { ingest_shards, ..ServiceConfig::default() },
         ingest,
     );
     if let Some(sink) = sink {

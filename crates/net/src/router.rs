@@ -1,20 +1,43 @@
 //! The service router: one `handle(Request) -> Response` facade over the
-//! server-side substrates (token mint, ingest service, aggregate
+//! server-side substrates (token mint, ingest shards, aggregate
 //! publisher, search index).
 //!
-//! The router owns all mutable server state behind one lock. Request
-//! handling is deterministic given the request sequence; cross-device
-//! interleavings cannot change any device's outcome because rate-limit
-//! accounting is per-device and RSA signing is a pure function — the
-//! property the served pipeline's digest-equality test leans on.
+//! Server state is partitioned into three independently synchronized
+//! domains, so no RPC ever takes a lock wider than what it touches:
+//!
+//! * **Mint domain** — the token mint behind its own lock; only the
+//!   issue path's per-device accounting runs under it (RSA signing is
+//!   pure and happens outside). The verifying key is cached at
+//!   construction, so upload-path signature checks and
+//!   [`RspService::mint_public_key`] take no lock at all.
+//! * **Read domain** — search index, ranker, and the explicit/inferred
+//!   review histograms, immutable behind an `Arc` snapshot. Readers
+//!   clone the `Arc` (one brief cell lock) and work lock-free;
+//!   [`RspService::publish_inferred`] swaps in a fresh snapshot.
+//! * **Ingest domain** — [`ShardedIngest`]: spend ledger sharded by
+//!   token ledger key, history store sharded by `shard_index(record_id)`,
+//!   and a per-shard WAL-order handoff so the fsync of one shard's
+//!   upload never blocks reads, token issuance, or other shards.
+//!
+//! Request handling stays deterministic given each device's request
+//! sequence: rate-limit accounting is per-device, RSA signing and
+//! verification are pure functions, double-spend is first-presentation-
+//! wins on a single ledger shard, and every counter is an
+//! order-independent sum — now per shard, which is the property the
+//! served pipeline's digest-equality test leans on.
+//!
+//! Lock order (debug-asserted via `orsp_server::lockorder`): mint →
+//! ledger shard → store shard → WAL order, never reversed.
 
 use crate::wire::{Request, Response, SearchHit};
-use orsp_crypto::TokenMint;
+use orsp_crypto::blind::{sign_blinded, verify_unblinded};
+use orsp_crypto::{RsaPublicKey, TokenMint};
 use orsp_obs::{Counter, Histogram, Registry};
 use orsp_search::{InferredSummary, Ranker, ReviewSummary, SearchIndex};
 use orsp_server::{
-    AggregatePublisher, EntityAggregate, IngestService, IngestStats, RejectReason, WalEntry,
-    WalSink, MIN_AGGREGATE_SUPPORT,
+    lockorder::{self, rank},
+    AggregatePublisher, EntityAggregate, IngestOutcome, IngestService, IngestStats,
+    RejectReason, ShardedIngest, WalSink, MIN_AGGREGATE_SUPPORT,
 };
 use orsp_types::{EntityId, StarHistogram};
 use parking_lot::Mutex;
@@ -29,6 +52,10 @@ pub struct ServiceConfig {
     pub min_aggregate_support: usize,
     /// Cap on search hits per response.
     pub max_search_results: usize,
+    /// Shard count for the ingest domain (spend ledger + history store).
+    /// Align with the storage engine's shard count so each ingest shard
+    /// appends to exactly its own on-disk segment log.
+    pub ingest_shards: usize,
 }
 
 impl Default for ServiceConfig {
@@ -36,24 +63,19 @@ impl Default for ServiceConfig {
         ServiceConfig {
             min_aggregate_support: MIN_AGGREGATE_SUPPORT,
             max_search_results: 20,
+            ingest_shards: 8,
         }
     }
 }
 
-struct ServiceState {
-    mint: TokenMint,
-    ingest: IngestService,
+/// The read domain: everything search needs, immutable behind one `Arc`.
+/// Queries run against whichever snapshot they grabbed; publishing new
+/// inferences builds the next snapshot and swaps the cell.
+struct ReadState {
     index: SearchIndex,
     ranker: Ranker,
     explicit: HashMap<EntityId, StarHistogram>,
     inferred: HashMap<EntityId, StarHistogram>,
-    /// Durability hook: every accepted upload is logged here before the
-    /// response is sent, so a crash after `UploadAccepted` cannot lose
-    /// the record (with `FsyncPolicy::Always`). If the log append
-    /// *fails*, the upload is already applied in memory and the client
-    /// receives an `Error` that says so — "applied but possibly not
-    /// durable", not "rejected".
-    wal: Option<Arc<dyn WalSink>>,
 }
 
 /// Pre-resolved metric handles for the request hot path: one registry
@@ -107,13 +129,17 @@ impl RouterMetrics {
 
 /// The wire-facing RSP service: every RPC lands here.
 pub struct RspService {
-    state: Mutex<ServiceState>,
-    /// Serializes WAL appends in admission order without holding the
-    /// service lock across the disk fsync: an upload acquires this
-    /// *before* releasing `state`, so the log order equals the apply
-    /// order (replay would reject same-record appends out of order),
-    /// while search/ping/token RPCs proceed during the fsync.
-    wal_order: Mutex<()>,
+    /// Mint domain: per-device issuance accounting. RSA signing happens
+    /// outside this lock via the mint's shared keypair handle.
+    mint: Mutex<TokenMint>,
+    /// The mint's verifying key, cached so the upload path and
+    /// [`Self::mint_public_key`] never touch the mint lock.
+    mint_public: RsaPublicKey,
+    /// Read domain snapshot cell: locked only long enough to clone or
+    /// swap the `Arc`, never while any other lock is held.
+    read: Mutex<Arc<ReadState>>,
+    /// Ingest domain: sharded admission, per-shard WAL-order handoff.
+    ingest: ShardedIngest,
     config: ServiceConfig,
     obs: Arc<Registry>,
     metrics: RouterMetrics,
@@ -146,21 +172,27 @@ impl RspService {
     ) -> Self {
         let obs = Arc::new(Registry::new());
         let metrics = RouterMetrics::resolve(&obs);
+        let mint_public = mint.public_key().clone();
         RspService {
-            state: Mutex::new(ServiceState {
-                mint,
-                ingest,
+            mint: Mutex::new(mint),
+            mint_public,
+            read: Mutex::new(Arc::new(ReadState {
                 index,
                 ranker,
                 explicit,
                 inferred: HashMap::new(),
-                wal: None,
-            }),
-            wal_order: Mutex::new(()),
+            })),
+            ingest: ShardedIngest::from_service(ingest, config.ingest_shards),
             config,
             obs,
             metrics,
         }
+    }
+
+    /// Grab the current read-domain snapshot (one brief cell lock, then
+    /// lock-free use).
+    fn read_snapshot(&self) -> Arc<ReadState> {
+        Arc::clone(&self.read.lock())
     }
 
     /// Attach a durability sink: from now on every accepted upload is
@@ -172,7 +204,7 @@ impl RspService {
     /// client retrying with a fresh token would append the interaction
     /// twice. The error is a durability warning, not a rejection.
     pub fn set_durability(&self, sink: Arc<dyn WalSink>) {
-        self.state.lock().wal = Some(sink);
+        self.ingest.set_wal(sink);
     }
 
     /// This service's metric registry. The `NetServer` fronting the
@@ -183,9 +215,17 @@ impl RspService {
     }
 
     /// Publish inferred-opinion histograms (e.g. after an inference pass)
-    /// so search ranking blends them in.
+    /// so search ranking blends them in. Builds the next read snapshot
+    /// and swaps it; in-flight searches finish against the old one.
     pub fn publish_inferred(&self, inferred: HashMap<EntityId, StarHistogram>) {
-        self.state.lock().inferred = inferred;
+        let mut cell = self.read.lock();
+        let next = ReadState {
+            index: cell.index.clone(),
+            ranker: cell.ranker,
+            explicit: cell.explicit.clone(),
+            inferred,
+        };
+        *cell = Arc::new(next);
     }
 
     /// Handle one decoded request, recording per-RPC latency and outcome
@@ -209,99 +249,93 @@ impl RspService {
         match request {
             Request::Ping => Response::Pong,
             Request::IssueToken { device, blinded, now } => {
-                let mut state = self.state.lock();
-                match state.mint.issue(device, &blinded, now) {
-                    Ok(signature) => {
-                        self.metrics.mint_issued_total.inc();
-                        Response::TokenIssued { signature }
-                    }
-                    Err(e) => {
-                        self.metrics.mint_denied_total.inc();
-                        Response::TokenDenied { reason: e.to_string() }
-                    }
-                }
-            }
-            Request::Upload { upload, now } => {
-                let mut guard = self.state.lock();
-                let state = &mut *guard;
-                match state.ingest.ingest(&upload, &mut state.mint, now) {
-                    Ok(()) => {
-                        self.metrics.ingest_accepted_total.inc();
-                        let wal = state.wal.clone();
-                        if let Some(wal) = wal {
-                            let entry = WalEntry {
-                                record_id: upload.record_id,
-                                entity: upload.entity,
-                                interaction: upload.interaction,
-                            };
-                            // Lock handoff: take the WAL order lock,
-                            // then release the service lock, so the
-                            // fsync (under FsyncPolicy::Always, one per
-                            // accepted upload) stalls only other
-                            // uploads' logging — never search, ping, or
-                            // token issuance.
-                            let order = self.wal_order.lock();
-                            drop(guard);
-                            let logged = wal.log_append(&entry);
-                            drop(order);
-                            if let Err(e) = logged {
-                                // The upload is applied in memory (the
-                                // token is spent, the interaction is
-                                // stored) but may not survive a
-                                // restart. Surface that honestly; the
-                                // client must NOT retry with a fresh
-                                // token — the retry would be a second
-                                // append, not a replacement.
-                                self.metrics.durability_errors_total.inc();
-                                return Response::Error {
-                                    detail: format!(
-                                        "durability failure (upload applied but \
-                                         possibly not durable; do not retry): {e}"
-                                    ),
-                                };
-                            }
+                // Mint domain only: per-device accounting under the lock,
+                // the (expensive, pure) RSA signing outside it.
+                let keypair = {
+                    let _rank = lockorder::enter(rank::MINT);
+                    let mut mint = self.mint.lock();
+                    match mint.authorize(device, now) {
+                        Ok(()) => mint.keypair_handle(),
+                        Err(e) => {
+                            drop(mint);
+                            drop(_rank);
+                            self.metrics.mint_denied_total.inc();
+                            return Response::TokenDenied { reason: e.to_string() };
                         }
+                    }
+                };
+                let signature = sign_blinded(&keypair, &blinded);
+                self.metrics.mint_issued_total.inc();
+                Response::TokenIssued { signature }
+            }
+            Request::Upload { upload, now: _ } => {
+                // No lock for the signature check (pure RSA against the
+                // cached key), then the ingest domain routes to the
+                // token's ledger shard and the record's store shard.
+                let valid = verify_unblinded(
+                    &self.mint_public,
+                    &upload.token.message,
+                    &upload.token.signature,
+                );
+                match self.ingest.ingest_verified(&upload, valid) {
+                    IngestOutcome::Accepted => {
+                        self.metrics.ingest_accepted_total.inc();
                         Response::UploadAccepted
                     }
-                    Err(reason) => {
+                    IngestOutcome::AcceptedNotDurable(e) => {
+                        // The upload is applied in memory (the token is
+                        // spent, the interaction is stored) but may not
+                        // survive a restart. Surface that honestly; the
+                        // client must NOT retry with a fresh token — the
+                        // retry would be a second append, not a
+                        // replacement.
+                        self.metrics.ingest_accepted_total.inc();
+                        self.metrics.durability_errors_total.inc();
+                        Response::Error {
+                            detail: format!(
+                                "durability failure (upload applied but \
+                                 possibly not durable; do not retry): {e}"
+                            ),
+                        }
+                    }
+                    IngestOutcome::Rejected(reason) => {
                         self.metrics.reject_counter(reason).inc();
                         Response::UploadRejected { reason }
                     }
                 }
             }
             Request::FetchAggregate { entity } => {
-                let state = self.state.lock();
-                Response::Aggregate { aggregate: self.published_aggregate(&state, entity) }
+                Response::Aggregate { aggregate: self.published_aggregate(entity) }
             }
             Request::Search { query } => {
-                let state = self.state.lock();
-                let candidates: Vec<(EntityId, ReviewSummary, InferredSummary)> = state
+                let snapshot = self.read_snapshot();
+                let candidates: Vec<(EntityId, ReviewSummary, InferredSummary)> = snapshot
                     .index
                     .query(&query)
                     .into_iter()
                     .map(|listing| {
                         let explicit = ReviewSummary {
-                            histogram: state
+                            histogram: snapshot
                                 .explicit
                                 .get(&listing.id)
                                 .cloned()
                                 .unwrap_or_default(),
                         };
                         let mut inferred = InferredSummary {
-                            histogram: state
+                            histogram: snapshot
                                 .inferred
                                 .get(&listing.id)
                                 .cloned()
                                 .unwrap_or_default(),
                             ..InferredSummary::default()
                         };
-                        if let Some(agg) = self.published_aggregate(&state, listing.id) {
+                        if let Some(agg) = self.published_aggregate(listing.id) {
                             inferred = inferred.with_aggregate(&agg);
                         }
                         (listing.id, explicit, inferred)
                     })
                     .collect();
-                let mut ranked = state.ranker.rank(candidates);
+                let mut ranked = snapshot.ranker.rank(candidates);
                 ranked.truncate(self.config.max_search_results);
                 Response::SearchResults {
                     hits: ranked
@@ -332,12 +366,14 @@ impl RspService {
     }
 
     /// The entity's aggregate if it clears the k-anonymity floor.
-    fn published_aggregate(
-        &self,
-        state: &ServiceState,
-        entity: EntityId,
-    ) -> Option<EntityAggregate> {
-        let agg = AggregatePublisher::for_entity(state.ingest.store(), entity);
+    /// Histories are gathered shard by shard (brief in-memory locks) and
+    /// accumulated in record-id order, so the result is bit-identical to
+    /// computing over a merged store.
+    fn published_aggregate(&self, entity: EntityId) -> Option<EntityAggregate> {
+        let agg = AggregatePublisher::from_histories(
+            entity,
+            self.ingest.histories_for_entity(entity),
+        );
         if agg.histories >= self.config.min_aggregate_support {
             Some(agg)
         } else {
@@ -347,26 +383,40 @@ impl RspService {
 
     /// The mint's public (verifying) key — distributed to devices out of
     /// band in a deployment; exposed here so wallets and examples can
-    /// bootstrap.
+    /// bootstrap. Reads the cached copy; no lock.
     pub fn mint_public_key(&self) -> orsp_crypto::RsaPublicKey {
-        self.state.lock().mint.public_key().clone()
+        self.mint_public.clone()
     }
 
-    /// Ingest counters so far.
+    /// Ingest counters so far (atomic sums; no lock).
     pub fn ingest_stats(&self) -> IngestStats {
-        self.state.lock().ingest.stats()
+        self.ingest.stats()
+    }
+
+    /// Number of ingest shards (matches `ServiceConfig::ingest_shards`).
+    pub fn ingest_shards(&self) -> usize {
+        self.ingest.shard_count()
+    }
+
+    /// Which ingest shard owns a record id — exposed so tests can build
+    /// shard-targeted workloads.
+    pub fn shard_of(&self, record_id: &orsp_types::RecordId) -> usize {
+        self.ingest.shard_of(record_id)
     }
 
     /// Total blind signatures issued.
     pub fn tokens_issued(&self) -> u64 {
-        self.state.lock().mint.issued_total()
+        let _rank = lockorder::enter(rank::MINT);
+        self.mint.lock().issued_total()
     }
 
     /// Tear the service down into its mint and ingest service — the state
-    /// a served pipeline needs back to finish its analytics stages.
+    /// a served pipeline needs back to finish its analytics stages. The
+    /// ingest shards collapse back into one store.
     pub fn into_parts(self) -> (TokenMint, IngestService) {
-        let state = self.state.into_inner();
-        (state.mint, state.ingest)
+        let mint = self.mint.into_inner();
+        let (store, stats) = self.ingest.into_merged();
+        (mint, IngestService::from_parts(store, stats))
     }
 }
 
@@ -401,11 +451,7 @@ mod tests {
         let svc = service(2);
         let mut rng = rng_for(8, "router-test-client");
         let device = DeviceId::new(1);
-        let public = {
-            // Grab the mint's public key through a round trip: issue one
-            // token and verify the wallet accepts the signature.
-            svc.state.lock().mint.public_key().clone()
-        };
+        let public = svc.mint_public_key();
         for attempt in 0..3 {
             let mut message = [0u8; 32];
             rng.fill(&mut message);
@@ -455,7 +501,7 @@ mod tests {
     #[test]
     fn valid_upload_lands_in_store_and_aggregate_floor_holds() {
         let svc = service(16);
-        let public = svc.state.lock().mint.public_key().clone();
+        let public = svc.mint_public_key();
         let mut rng = rng_for(9, "router-test-upload");
         let device = DeviceId::new(3);
         let mut wallet = TokenWallet::new(device, public);

@@ -14,12 +14,11 @@ use crate::error::{NetError, WireError};
 use crate::router::RspService;
 use crate::stream::{read_message, write_message};
 use crate::wire::{Request, Response};
+use crossbeam::channel::{Receiver, Sender, TrySendError};
 use orsp_obs::{Counter, Registry};
-use parking_lot::Mutex;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -178,16 +177,20 @@ impl NetServer {
             metrics,
         });
         let workers = config.workers.max(1);
-        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.queue_depth.max(1));
-        let rx = Arc::new(Mutex::new(rx));
+        // Multi-consumer hand-off: each worker owns a clone of the
+        // receiver and competes for connections directly — no shared
+        // `Mutex<Receiver>` serializing the dequeue side of the accept
+        // path.
+        let (tx, rx) = crossbeam::channel::bounded::<TcpStream>(config.queue_depth.max(1));
 
         let worker_handles: Vec<JoinHandle<()>> = (0..workers)
             .map(|_| {
                 let shared = Arc::clone(&shared);
-                let rx = Arc::clone(&rx);
+                let rx = rx.clone();
                 std::thread::spawn(move || worker_loop(&shared, &rx))
             })
             .collect();
+        drop(rx);
         let acceptor = {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || accept_loop(&shared, &listener, tx))
@@ -249,7 +252,7 @@ impl Drop for NetServer {
     }
 }
 
-fn accept_loop(shared: &Shared, listener: &TcpListener, tx: SyncSender<TcpStream>) {
+fn accept_loop(shared: &Shared, listener: &TcpListener, tx: Sender<TcpStream>) {
     loop {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
@@ -290,11 +293,9 @@ fn shed(shared: &Shared, mut stream: TcpStream) {
     // the peer is gone, in which case there is no one left to tell).
 }
 
-fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
+fn worker_loop(shared: &Shared, rx: &Receiver<TcpStream>) {
     loop {
-        // Hold the lock only while dequeuing, not while serving.
-        let next = { rx.lock().recv() };
-        match next {
+        match rx.recv() {
             Ok(stream) => serve_connection(shared, stream),
             Err(_) => return, // acceptor gone and queue drained
         }

@@ -9,8 +9,8 @@
 //! (visit count, average distance) points (3b) — plus summary statistics
 //! the search layer shows beside explicit reviews.
 
-use crate::store::HistoryStore;
-use orsp_types::{EntityId, InteractionKind};
+use crate::store::{HistoryStore, StoredHistory};
+use orsp_types::{EntityId, InteractionKind, RecordId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -55,6 +55,30 @@ pub struct AggregatePublisher;
 impl AggregatePublisher {
     /// Build the aggregate for one entity.
     pub fn for_entity(store: &HistoryStore, entity: EntityId) -> EntityAggregate {
+        // Fix the iteration order before accumulating floats: the store's
+        // map iterates in arbitrary order, and float addition is not
+        // associative — mean_dwell_min must not depend on hash seeds.
+        let mut histories: Vec<_> = store.histories_for_entity(entity).collect();
+        histories.sort_by_key(|(rid, _)| **rid);
+        Self::accumulate(entity, histories.into_iter().map(|(_, s)| s))
+    }
+
+    /// Build the aggregate from histories gathered out of several shard
+    /// stores. Sorting by record id here reproduces [`Self::for_entity`]'s
+    /// accumulation order exactly, so the result is bit-identical to
+    /// computing over the merged store.
+    pub fn from_histories(
+        entity: EntityId,
+        mut histories: Vec<(RecordId, StoredHistory)>,
+    ) -> EntityAggregate {
+        histories.sort_by_key(|(rid, _)| *rid);
+        Self::accumulate(entity, histories.iter().map(|(_, s)| s))
+    }
+
+    fn accumulate<'a>(
+        entity: EntityId,
+        sorted: impl Iterator<Item = &'a StoredHistory>,
+    ) -> EntityAggregate {
         let mut agg = EntityAggregate {
             entity,
             histories: 0,
@@ -67,12 +91,7 @@ impl AggregatePublisher {
         let mut dwell_sum = 0.0;
         let mut dwell_n = 0usize;
         let mut repeats = 0usize;
-        // Fix the iteration order before accumulating floats: the store's
-        // map iterates in arbitrary order, and float addition is not
-        // associative — mean_dwell_min must not depend on hash seeds.
-        let mut histories: Vec<_> = store.histories_for_entity(entity).collect();
-        histories.sort_by_key(|(rid, _)| **rid);
-        for (_, stored) in histories {
+        for stored in sorted {
             let n = stored.history.len();
             agg.histories += 1;
             agg.interactions += n;

@@ -134,6 +134,12 @@ impl IngestService {
         self.stats
     }
 
+    /// Break the service into its store and counters — the shard
+    /// redistribution path ([`crate::ShardedIngest::from_service`]).
+    pub fn into_parts(self) -> (HistoryStore, IngestStats) {
+        (self.store, self.stats)
+    }
+
     /// The underlying store (server-internal analytics).
     pub fn store(&self) -> &HistoryStore {
         &self.store

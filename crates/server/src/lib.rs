@@ -29,8 +29,10 @@ pub mod aggregates;
 pub mod attest_gate;
 pub mod fraud;
 pub mod ingest;
+pub mod lockorder;
 pub mod profile;
 pub mod sharded;
+pub mod sharded_ingest;
 pub mod store;
 pub mod wal;
 
@@ -43,6 +45,7 @@ pub use sharded::{
     deterministic_ingest, deterministic_ingest_logged, parallel_ingest, shard_index,
     ParallelStats, ShardedStore,
 };
+pub use sharded_ingest::{IngestOutcome, ShardedIngest};
 pub use store::{HistoryStore, StoredHistory};
 pub use wal::{
     crc32, encode_record, rebuild_store, replay, wal_header, Replay, WalEntry, WalFault,

@@ -1,0 +1,114 @@
+//! Debug-only lock-order discipline for the domain-partitioned service.
+//!
+//! The service core holds at most a handful of locks at once, always in
+//! one direction: **mint → ledger shard → store shard → WAL order**.
+//! Any path that acquires them in the reverse direction can deadlock
+//! against the upload path. This module makes the discipline executable:
+//! in debug builds each acquisition registers its rank in a thread-local
+//! set and asserts that every rank already held is strictly lower. In
+//! release builds everything compiles away.
+//!
+//! Usage: call [`enter`] with the lock's rank *before* blocking on the
+//! lock, and keep the returned guard alive for as long as the lock guard
+//! is. Checking before the block is deliberate — a violation is a bug
+//! whether or not the lock happens to be contended at that moment.
+
+#[cfg(debug_assertions)]
+use std::cell::Cell;
+
+/// Ranks for every lock class in the service core, in required
+/// acquisition order.
+pub mod rank {
+    /// The token mint (issue path accounting).
+    pub const MINT: u8 = 1;
+    /// A spend-ledger shard (keyed by token ledger key).
+    pub const LEDGER_SHARD: u8 = 2;
+    /// A store shard (keyed by record id).
+    pub const STORE_SHARD: u8 = 3;
+    /// A shard's WAL-order handoff lock.
+    pub const WAL_ORDER: u8 = 4;
+}
+
+#[cfg(debug_assertions)]
+thread_local! {
+    /// Bitmask of ranks currently held by this thread (bit `r` set when a
+    /// rank-`r` guard is alive).
+    static HELD: Cell<u8> = const { Cell::new(0) };
+}
+
+/// RAII witness that a rank is held; dropping it releases the rank.
+/// Guards may drop out of acquisition order (the WAL handoff releases the
+/// store shard while still holding WAL order).
+#[must_use]
+pub struct RankGuard {
+    #[cfg(debug_assertions)]
+    rank: u8,
+}
+
+/// Register intent to acquire a lock of the given rank.
+///
+/// Panics (debug builds only) when any rank already held is ≥ `rank` —
+/// i.e. the acquisition runs against the mint → ledger → store → WAL
+/// direction, or re-enters its own class.
+#[inline]
+pub fn enter(rank: u8) -> RankGuard {
+    #[cfg(debug_assertions)]
+    {
+        HELD.with(|held| {
+            let mask = held.get();
+            assert!(
+                mask >> rank == 0,
+                "lock-order violation: acquiring rank {rank} while holding mask \
+                 {mask:#b} (required order: mint(1) -> ledger shard(2) -> \
+                 store shard(3) -> wal order(4), never reversed)"
+            );
+            held.set(mask | (1 << rank));
+        });
+        RankGuard { rank }
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        let _ = rank;
+        RankGuard {}
+    }
+}
+
+#[cfg(debug_assertions)]
+impl Drop for RankGuard {
+    fn drop(&mut self) {
+        HELD.with(|held| held.set(held.get() & !(1 << self.rank)));
+    }
+}
+
+#[cfg(not(debug_assertions))]
+impl Drop for RankGuard {
+    fn drop(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_order_is_allowed() {
+        let a = enter(rank::MINT);
+        drop(a);
+        let b = enter(rank::LEDGER_SHARD);
+        let c = enter(rank::STORE_SHARD);
+        let d = enter(rank::WAL_ORDER);
+        // Handoff shape: store shard released while WAL order stays held.
+        drop(c);
+        drop(d);
+        drop(b);
+        // Ranks are reusable once released.
+        let _again = enter(rank::MINT);
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "release builds elide the check")]
+    fn reverse_order_panics() {
+        let _wal = enter(rank::WAL_ORDER);
+        let violation = std::panic::catch_unwind(|| enter(rank::MINT));
+        assert!(violation.is_err(), "mint after wal order must trip the assertion");
+    }
+}

@@ -1,0 +1,445 @@
+//! The service-facing ingest domain: admission control sharded for
+//! concurrent RPC traffic.
+//!
+//! [`crate::IngestService`] is the single-threaded admission engine the
+//! in-process pipeline uses; this module is the same admission logic
+//! re-partitioned so a multi-worker server can run it without a global
+//! lock. Three independently synchronized pieces:
+//!
+//! * **Spend ledger**, sharded by `shard_index(token.ledger_key())` — the
+//!   double-spend check must be global per *token*, and the ledger key is
+//!   a hash of the token message, so sharding by it spreads tokens
+//!   uniformly while keeping each token's first-presentation-wins
+//!   decision on a single lock.
+//! * **History store**, sharded by `shard_index(record_id)` — matching
+//!   the storage engine's on-disk segment sharding, so when the shard
+//!   counts agree each ingest shard appends to exactly its own shard log.
+//! * **Per-shard WAL order locks** — the order-preserving handoff
+//!   (acquire the shard's WAL-order lock *before* releasing its store
+//!   lock) that keeps log order identical to apply order per shard while
+//!   moving the fsync out of the store lock. Reads never queue behind a
+//!   disk flush.
+//!
+//! Counters are atomics: every stat is an order-independent sum, which is
+//! one of the two facts that keep a sharded run bit-identical to the
+//! sequential reference (the other: admission decisions only ever depend
+//! on single-token or single-record state, never on cross-shard state).
+
+use crate::ingest::{IngestService, IngestStats, RejectReason};
+use crate::lockorder::{self, rank};
+use crate::sharded::shard_index;
+use crate::store::{HistoryStore, StoredHistory};
+use crate::wal::{WalEntry, WalSink};
+use orsp_client::UploadRequest;
+use orsp_crypto::blind::verify_unblinded;
+use orsp_crypto::RsaPublicKey;
+use orsp_types::{EntityId, OrspError, RecordId};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+/// Result of one admission attempt.
+#[derive(Debug)]
+pub enum IngestOutcome {
+    /// Applied to the store and (when a sink is wired) durably logged.
+    Accepted,
+    /// Applied to the store, but the durability sink failed — the caller
+    /// must surface this rather than acknowledge a clean accept, and the
+    /// client must not retry (the token is spent, the record applied).
+    AcceptedNotDurable(OrspError),
+    /// Refused; nothing was applied. (The token *is* consumed for store
+    /// rejections — same semantics as the sequential path, where
+    /// redemption precedes the append.)
+    Rejected(RejectReason),
+}
+
+#[derive(Default)]
+struct AtomicStats {
+    accepted: AtomicU64,
+    bad_token: AtomicU64,
+    double_spend: AtomicU64,
+    bad_record: AtomicU64,
+    entity_mismatch: AtomicU64,
+}
+
+impl AtomicStats {
+    fn from_stats(stats: IngestStats) -> Self {
+        AtomicStats {
+            accepted: AtomicU64::new(stats.accepted),
+            bad_token: AtomicU64::new(stats.bad_token),
+            double_spend: AtomicU64::new(stats.double_spend),
+            bad_record: AtomicU64::new(stats.bad_record),
+            entity_mismatch: AtomicU64::new(stats.entity_mismatch),
+        }
+    }
+
+    fn count(&self, reason: RejectReason) {
+        match reason {
+            RejectReason::BadToken => self.bad_token.fetch_add(1, Relaxed),
+            RejectReason::DoubleSpend => self.double_spend.fetch_add(1, Relaxed),
+            RejectReason::BadRecord => self.bad_record.fetch_add(1, Relaxed),
+            RejectReason::EntityMismatch => self.entity_mismatch.fetch_add(1, Relaxed),
+        };
+    }
+
+    fn snapshot(&self) -> IngestStats {
+        IngestStats {
+            accepted: self.accepted.load(Relaxed),
+            bad_token: self.bad_token.load(Relaxed),
+            double_spend: self.double_spend.load(Relaxed),
+            bad_record: self.bad_record.load(Relaxed),
+            entity_mismatch: self.entity_mismatch.load(Relaxed),
+        }
+    }
+}
+
+struct StoreShard {
+    store: Mutex<HistoryStore>,
+    /// Order-preserving WAL handoff for this shard only.
+    wal_order: Mutex<()>,
+}
+
+/// Shard-partitioned admission control for the request path.
+pub struct ShardedIngest {
+    ledgers: Vec<Mutex<HashSet<[u8; 32]>>>,
+    shards: Vec<StoreShard>,
+    wal: RwLock<Option<Arc<dyn WalSink>>>,
+    stats: AtomicStats,
+}
+
+impl ShardedIngest {
+    /// An empty ingest domain with `n` shards (clamped to ≥ 1).
+    pub fn new(n: usize) -> Self {
+        Self::with_parts(HistoryStore::new(), IngestStats::default(), n)
+    }
+
+    /// Reshard an existing service's store (recovery resume path): every
+    /// history is redistributed by `shard_index(record_id)`. The spend
+    /// ledger starts empty, matching the sequential resume path — spent
+    /// tokens are not persisted, a fresh mint means a fresh ledger.
+    pub fn from_service(service: IngestService, n: usize) -> Self {
+        let (store, stats) = service.into_parts();
+        Self::with_parts(store, stats, n)
+    }
+
+    fn with_parts(store: HistoryStore, stats: IngestStats, n: usize) -> Self {
+        let n = n.max(1);
+        let ledgers = (0..n).map(|_| Mutex::new(HashSet::new())).collect();
+        let mut shards: Vec<StoreShard> = (0..n)
+            .map(|_| StoreShard {
+                store: Mutex::new(HistoryStore::new()),
+                wal_order: Mutex::new(()),
+            })
+            .collect();
+        for (rid, stored) in store.into_histories() {
+            let shard = shard_index(rid.as_bytes(), n);
+            shards[shard].store.get_mut().insert_history(rid, stored);
+        }
+        ShardedIngest {
+            ledgers,
+            shards,
+            wal: RwLock::new(None),
+            stats: AtomicStats::from_stats(stats),
+        }
+    }
+
+    /// Wire (or replace) the durability sink every accepted upload is
+    /// logged through.
+    pub fn set_wal(&self, sink: Arc<dyn WalSink>) {
+        *self.wal.write() = Some(sink);
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard owns a record id.
+    pub fn shard_of(&self, record_id: &RecordId) -> usize {
+        shard_index(record_id.as_bytes(), self.shards.len())
+    }
+
+    /// Admit one upload: verify the token signature (pure RSA, no lock),
+    /// then delegate to [`Self::ingest_verified`].
+    pub fn ingest(&self, upload: &UploadRequest, mint_key: &RsaPublicKey) -> IngestOutcome {
+        let valid =
+            verify_unblinded(mint_key, &upload.token.message, &upload.token.signature);
+        self.ingest_verified(upload, valid)
+    }
+
+    /// Admit one upload whose signature verdict was computed by the
+    /// caller. Locks touched, in rank order, each held only for the
+    /// in-memory operation: the token's ledger shard, then the record's
+    /// store shard, then — for durable accepts — that shard's WAL-order
+    /// lock across the sink append (the store lock is released first, so
+    /// reads and other shards never wait on the fsync).
+    pub fn ingest_verified(&self, upload: &UploadRequest, signature_valid: bool) -> IngestOutcome {
+        if !signature_valid {
+            self.stats.count(RejectReason::BadToken);
+            return IngestOutcome::Rejected(RejectReason::BadToken);
+        }
+
+        let key = upload.token.ledger_key();
+        {
+            let _rank = lockorder::enter(rank::LEDGER_SHARD);
+            let mut ledger = self.ledgers[shard_index(&key, self.ledgers.len())].lock();
+            if !ledger.insert(key) {
+                drop(ledger);
+                drop(_rank);
+                self.stats.count(RejectReason::DoubleSpend);
+                return IngestOutcome::Rejected(RejectReason::DoubleSpend);
+            }
+        }
+        // From here the token stays spent even if the store refuses the
+        // record — identical to the sequential redeem-then-append path.
+
+        let shard = &self.shards[self.shard_of(&upload.record_id)];
+        let rank_store = lockorder::enter(rank::STORE_SHARD);
+        let mut store = shard.store.lock();
+        match store.append(upload.record_id, upload.entity, upload.interaction) {
+            Ok(()) => {
+                self.stats.accepted.fetch_add(1, Relaxed);
+                let sink = self.wal.read().clone();
+                match sink {
+                    Some(sink) => {
+                        // Per-shard order-preserving handoff: claim this
+                        // shard's WAL slot before releasing its store
+                        // lock, so log order equals apply order for every
+                        // record, then flush outside the store lock.
+                        let rank_wal = lockorder::enter(rank::WAL_ORDER);
+                        let order = shard.wal_order.lock();
+                        drop(store);
+                        drop(rank_store);
+                        let entry = WalEntry {
+                            record_id: upload.record_id,
+                            entity: upload.entity,
+                            interaction: upload.interaction,
+                        };
+                        let result = sink.log_append(&entry);
+                        drop(order);
+                        drop(rank_wal);
+                        match result {
+                            Ok(()) => IngestOutcome::Accepted,
+                            Err(e) => IngestOutcome::AcceptedNotDurable(e),
+                        }
+                    }
+                    None => IngestOutcome::Accepted,
+                }
+            }
+            Err(OrspError::UploadRejected(_)) => {
+                self.stats.count(RejectReason::EntityMismatch);
+                IngestOutcome::Rejected(RejectReason::EntityMismatch)
+            }
+            Err(_) => {
+                self.stats.count(RejectReason::BadRecord);
+                IngestOutcome::Rejected(RejectReason::BadRecord)
+            }
+        }
+    }
+
+    /// Counter snapshot (atomic sums; exact once concurrent callers have
+    /// returned).
+    pub fn stats(&self) -> IngestStats {
+        self.stats.snapshot()
+    }
+
+    /// Total histories across shards.
+    pub fn store_len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                let _rank = lockorder::enter(rank::STORE_SHARD);
+                s.store.lock().len()
+            })
+            .sum()
+    }
+
+    /// Total interactions across shards.
+    pub fn total_interactions(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                let _rank = lockorder::enter(rank::STORE_SHARD);
+                s.store.lock().total_interactions()
+            })
+            .sum()
+    }
+
+    /// Clone out every history for one entity, one brief shard lock at a
+    /// time. Callers sort by record id before accumulating floats
+    /// ([`crate::AggregatePublisher::from_histories`] does), which makes
+    /// the result independent of shard layout.
+    pub fn histories_for_entity(&self, entity: EntityId) -> Vec<(RecordId, StoredHistory)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let _rank = lockorder::enter(rank::STORE_SHARD);
+            let store = shard.store.lock();
+            out.extend(
+                store.histories_for_entity(entity).map(|(rid, s)| (*rid, s.clone())),
+            );
+        }
+        out
+    }
+
+    /// Collapse back into the single-threaded service (drain/checkpoint
+    /// path). Consumes the domain, so no locks are contended.
+    pub fn into_merged(self) -> (HistoryStore, IngestStats) {
+        let stats = self.stats.snapshot();
+        let mut merged = HistoryStore::new();
+        for shard in self.shards {
+            for (rid, stored) in shard.store.into_inner().into_histories() {
+                merged.insert_history(rid, stored);
+            }
+        }
+        (merged, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orsp_crypto::{TokenMint, TokenWallet};
+    use orsp_types::{
+        DeviceId, Interaction, InteractionKind, SimDuration, Timestamp,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn minted_uploads(n: usize, seed: u64) -> (Vec<UploadRequest>, RsaPublicKey) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut mint = TokenMint::new(&mut rng, 256, u32::MAX, SimDuration::DAY);
+        let mut wallet = TokenWallet::new(DeviceId::new(1), mint.public_key().clone());
+        let ups = (0..n)
+            .map(|i| {
+                wallet.request_token(&mut rng, &mut mint, Timestamp::EPOCH).unwrap();
+                UploadRequest {
+                    record_id: RecordId::from_bytes({
+                        let mut b = [0u8; 32];
+                        b[0] = (i % 251) as u8;
+                        b[1] = (i / 251) as u8;
+                        b
+                    }),
+                    entity: EntityId::new((i % 5) as u64),
+                    interaction: Interaction::solo(
+                        InteractionKind::Visit,
+                        Timestamp::from_seconds(i as i64 * 1_000),
+                        SimDuration::minutes(30),
+                        75.0,
+                    ),
+                    token: wallet.take_token().unwrap(),
+                    release_at: Timestamp::EPOCH,
+                }
+            })
+            .collect();
+        (ups, mint.public_key().clone())
+    }
+
+    #[test]
+    fn sharded_admission_matches_sequential_counters() {
+        let (ups, key) = minted_uploads(30, 7);
+        let ingest = ShardedIngest::new(8);
+        for u in &ups {
+            assert!(matches!(ingest.ingest(u, &key), IngestOutcome::Accepted));
+        }
+        // Replays double-spend; a forged token is caught with no lock.
+        assert!(matches!(
+            ingest.ingest(&ups[0], &key),
+            IngestOutcome::Rejected(RejectReason::DoubleSpend)
+        ));
+        let mut forged = ups[1].clone();
+        forged.token.signature = orsp_crypto::BigUint::from_u64(3);
+        assert!(matches!(
+            ingest.ingest(&forged, &key),
+            IngestOutcome::Rejected(RejectReason::BadToken)
+        ));
+        let stats = ingest.stats();
+        assert_eq!(stats.accepted, 30);
+        assert_eq!(stats.double_spend, 1);
+        assert_eq!(stats.bad_token, 1);
+        assert_eq!(ingest.store_len(), 30);
+        assert_eq!(ingest.total_interactions(), 30);
+    }
+
+    #[test]
+    fn reshard_then_merge_round_trips() {
+        let (ups, key) = minted_uploads(40, 8);
+        let ingest = ShardedIngest::new(4);
+        for u in &ups {
+            ingest.ingest(u, &key);
+        }
+        let (store, stats) = ingest.into_merged();
+        assert_eq!(store.len(), 40);
+        assert_eq!(stats.accepted, 40);
+
+        // Reshard to a different count: same contents, same counters.
+        let resharded =
+            ShardedIngest::from_service(IngestService::from_parts(store, stats), 16);
+        assert_eq!(resharded.shard_count(), 16);
+        assert_eq!(resharded.store_len(), 40);
+        assert_eq!(resharded.stats().accepted, 40);
+        let (merged, _) = resharded.into_merged();
+        assert_eq!(merged.total_interactions(), 40);
+    }
+
+    #[test]
+    fn entity_histories_aggregate_identically_to_merged_store() {
+        let (ups, key) = minted_uploads(35, 9);
+        let ingest = ShardedIngest::new(8);
+        for u in &ups {
+            ingest.ingest(u, &key);
+        }
+        let entity = EntityId::new(2);
+        let via_shards = crate::AggregatePublisher::from_histories(
+            entity,
+            ingest.histories_for_entity(entity),
+        );
+        let (merged, _) = ingest.into_merged();
+        let via_merged = crate::AggregatePublisher::for_entity(&merged, entity);
+        assert_eq!(via_shards, via_merged, "shard layout must not leak into aggregates");
+    }
+
+    #[test]
+    fn store_rejection_still_consumes_the_token() {
+        let (ups, key) = minted_uploads(2, 10);
+        let ingest = ShardedIngest::new(4);
+        assert!(matches!(ingest.ingest(&ups[0], &key), IngestOutcome::Accepted));
+        // Same record id, different entity: entity mismatch, token spent.
+        let mut rebind = ups[1].clone();
+        rebind.record_id = ups[0].record_id;
+        rebind.entity = EntityId::new(99);
+        assert!(matches!(
+            ingest.ingest(&rebind, &key),
+            IngestOutcome::Rejected(RejectReason::EntityMismatch)
+        ));
+        // Retrying the same token now double-spends even with a good record.
+        let mut retry = rebind.clone();
+        retry.record_id = RecordId::from_bytes([77; 32]);
+        retry.entity = ups[1].entity;
+        assert!(matches!(
+            ingest.ingest(&retry, &key),
+            IngestOutcome::Rejected(RejectReason::DoubleSpend)
+        ));
+    }
+
+    #[test]
+    fn concurrent_uploads_from_many_threads_count_exactly() {
+        let (ups, key) = minted_uploads(200, 11);
+        let ingest = ShardedIngest::new(8);
+        std::thread::scope(|s| {
+            for chunk in ups.chunks(50) {
+                let (ingest, key) = (&ingest, &key);
+                s.spawn(move || {
+                    for u in chunk {
+                        assert!(matches!(
+                            ingest.ingest(u, key),
+                            IngestOutcome::Accepted
+                        ));
+                    }
+                });
+            }
+        });
+        assert_eq!(ingest.stats().accepted, 200);
+        assert_eq!(ingest.store_len(), 200);
+    }
+}

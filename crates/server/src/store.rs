@@ -14,6 +14,7 @@
 //! statistics.)
 
 use orsp_types::{EntityId, Interaction, InteractionHistory, OrspError, RecordId};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 /// One stored anonymous history.
@@ -29,6 +30,10 @@ pub struct StoredHistory {
 #[derive(Debug, Default)]
 pub struct HistoryStore {
     records: HashMap<RecordId, StoredHistory>,
+    /// Entity → record ids, maintained on every append/delete so
+    /// per-entity lookups (aggregates, search scoring) cost O(matches)
+    /// instead of a full-store scan.
+    by_entity: HashMap<EntityId, Vec<RecordId>>,
 }
 
 impl HistoryStore {
@@ -51,10 +56,13 @@ impl HistoryStore {
         entity: EntityId,
         interaction: Interaction,
     ) -> orsp_types::Result<()> {
-        let stored = self
-            .records
-            .entry(record_id)
-            .or_insert_with(|| StoredHistory { entity, history: InteractionHistory::new() });
+        let stored = match self.records.entry(record_id) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(v) => {
+                self.by_entity.entry(entity).or_default().push(record_id);
+                v.insert(StoredHistory { entity, history: InteractionHistory::new() })
+            }
+        };
         if stored.entity != entity {
             return Err(OrspError::UploadRejected(format!(
                 "record {} is bound to {} but upload names {}",
@@ -87,12 +95,27 @@ impl HistoryStore {
         self.records.iter()
     }
 
-    /// Server-internal: histories for one entity.
+    /// Server-internal: histories for one entity, via the entity index.
     pub fn histories_for_entity(
         &self,
         entity: EntityId,
     ) -> impl Iterator<Item = (&RecordId, &StoredHistory)> {
-        self.records.iter().filter(move |(_, s)| s.entity == entity)
+        self.by_entity.get(&entity).into_iter().flatten().map(move |rid| {
+            (rid, self.records.get(rid).expect("entity index out of sync"))
+        })
+    }
+
+    /// Move an already-built history into the store (shard redistribution
+    /// and merge paths; crate-internal).
+    pub(crate) fn insert_history(&mut self, record_id: RecordId, stored: StoredHistory) {
+        self.by_entity.entry(stored.entity).or_default().push(record_id);
+        let previous = self.records.insert(record_id, stored);
+        debug_assert!(previous.is_none(), "insert_history over an existing record");
+    }
+
+    /// Consume the store, yielding every history (crate-internal).
+    pub(crate) fn into_histories(self) -> impl Iterator<Item = (RecordId, StoredHistory)> {
+        self.records.into_iter()
     }
 
     /// Delete one record at its owner's request.
@@ -103,7 +126,18 @@ impl HistoryStore {
     /// server honours the deletion without ever learning who asked.
     /// Returns true iff the record existed.
     pub fn delete_record(&mut self, id: &RecordId) -> bool {
-        self.records.remove(id).is_some()
+        match self.records.remove(id) {
+            Some(stored) => {
+                if let Some(ids) = self.by_entity.get_mut(&stored.entity) {
+                    ids.retain(|r| r != id);
+                    if ids.is_empty() {
+                        self.by_entity.remove(&stored.entity);
+                    }
+                }
+                true
+            }
+            None => false,
+        }
     }
 
     /// Remove a set of records (the fraud filter's discard action).
@@ -111,7 +145,7 @@ impl HistoryStore {
     pub fn remove_records(&mut self, ids: &[RecordId]) -> usize {
         let mut removed = 0;
         for id in ids {
-            if self.records.remove(id).is_some() {
+            if self.delete_record(id) {
                 removed += 1;
             }
         }

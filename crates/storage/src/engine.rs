@@ -345,6 +345,22 @@ impl StorageEngine {
         &self.opts
     }
 
+    /// Number of per-shard segment logs (the directory's recorded count).
+    ///
+    /// A serving tier that sizes its ingest shards to this value gets
+    /// 1:1 sink wiring: ingest shard *i*'s accepted uploads all land in
+    /// engine shard *i* — both layers route with the same
+    /// `shard_index(record_id)` — so concurrent uploads to different
+    /// ingest shards never contend on an engine shard lock either.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which segment log an entry for `record_id` appends to.
+    pub fn shard_of(&self, record_id: &orsp_types::RecordId) -> usize {
+        shard_index(record_id.as_bytes(), self.shards.len())
+    }
+
     /// Durably log one accepted entry.
     pub fn append(&self, entry: &WalEntry) -> Result<()> {
         let shard = shard_index(entry.record_id.as_bytes(), self.shards.len());

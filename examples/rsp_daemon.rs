@@ -20,8 +20,14 @@
 //! cargo run --release --example rsp_daemon -- --data-dir /tmp/rsp-data
 //! cargo run --release --example rsp_daemon -- --data-dir /tmp/rsp-data
 //! ```
+//!
+//! `--shards N` sizes the ingest domain (and, for a fresh data
+//! directory, the engine's segment logs) — both layers partition by the
+//! same hash, so the counts stay aligned and uploads to different shards
+//! proceed fully in parallel. A recovered directory keeps its recorded
+//! shard count.
 
-use orsp_core::{service_for_world_recovered, PipelineConfig};
+use orsp_core::{service_for_world_sharded, PipelineConfig};
 use orsp_crypto::TokenWallet;
 use orsp_net::{ClientConfig, NetClient, NetServer, RemoteIssuer, ServerConfig, TcpTransport};
 use orsp_search::SearchQuery;
@@ -53,6 +59,16 @@ fn main() {
         Some("never") => FsyncPolicy::Never,
         Some(other) => panic!("--fsync must be always|on-rotate|never, got {other}"),
     };
+    // One shard count for both layers: the ingest domain's locks and the
+    // engine's segment logs partition by the same shard_index(record_id),
+    // so equal counts give each ingest shard its own shard log. An
+    // existing data directory's recorded count wins (the on-disk layout
+    // is fixed at creation).
+    let shards: usize = args
+        .iter()
+        .position(|a| a == "--shards")
+        .map(|i| args.get(i + 1).expect("--shards takes a count").parse().expect("--shards count"))
+        .unwrap_or(StorageOptions::default().shard_count as usize);
 
     // 1. A synthetic city.
     let config = WorldConfig {
@@ -72,7 +88,11 @@ fn main() {
     let (engine, recovered_ingest) = match &data_dir {
         Some(path) => {
             let dir = Arc::new(FsDir::open(path).expect("open data dir"));
-            let options = StorageOptions { fsync, ..StorageOptions::default() };
+            let options = StorageOptions {
+                fsync,
+                shard_count: shards as u32,
+                ..StorageOptions::default()
+            };
             let (engine, report) = StorageEngine::open(dir, options).expect("recovery");
             println!(
                 "storage: {path} recovered — {} records from checkpoint, {} replayed \
@@ -93,12 +113,17 @@ fn main() {
     // 3. Serve it: the wire-facing service (token mint, ingest, search)
     //    behind a thread-pool TCP server on an ephemeral loopback port,
     //    resuming from the recovered store and logging through the engine.
-    let service = Arc::new(service_for_world_recovered(
+    // Durable runs adopt the engine's (possibly recovered) shard count so
+    // ingest shards and segment logs stay 1:1.
+    let service_shards = engine.as_ref().map(|e| e.shard_count()).unwrap_or(shards);
+    let service = Arc::new(service_for_world_sharded(
         &world,
         &pipeline_config,
         recovered_ingest,
         engine.clone().map(|e| e as Arc<dyn WalSink>),
+        service_shards,
     ));
+    println!("service: {} ingest shards", service.ingest_shards());
     let server = NetServer::bind("127.0.0.1:0", Arc::clone(&service), ServerConfig::default())
         .expect("bind daemon");
     let addr = server.local_addr();

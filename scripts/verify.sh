@@ -19,6 +19,11 @@ cargo test -q --release -p orsp-net --test wire_proptests
 cargo test -q --release -p orsp-net --test tcp_roundtrip
 cargo test -q --release -p orsp-core --test net_end_to_end
 
+echo "== service concurrency (domain locks: hammer, shard routing; debug build carries the lock-order assertion) =="
+cargo test -q --release -p orsp-net --test service_hammer
+cargo test -q -p orsp-net --test service_hammer
+cargo test -q -p orsp-server lockorder
+
 echo "== storage test suites (engine units, crash matrix, served-crash recovery) =="
 cargo test -q --release -p orsp-storage
 cargo test -q --release -p orsp-storage --test crash_matrix
@@ -33,6 +38,11 @@ echo "== recorded obs overhead stays under the 3% gate =="
 # (regenerate with: cargo run --release -p orsp-bench --bin obs_overhead).
 test -f results/BENCH_obs_overhead.json
 grep -q '"overhead_below_3pct": true' results/BENCH_obs_overhead.json
+
+echo "== recorded service-contention result exists with an overlapping upload stream =="
+# (regenerate with: cargo run --release -p orsp-bench --bin service_contention)
+test -f results/BENCH_service_contention.json
+grep -q '"uploads_during_contended_phase": [1-9]' results/BENCH_service_contention.json
 
 # Formatting is advisory: rustfmt may be absent in minimal toolchains.
 if command -v rustfmt >/dev/null 2>&1; then

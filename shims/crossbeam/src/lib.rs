@@ -39,24 +39,48 @@ where
 }
 
 pub mod channel {
-    //! `crossbeam::channel` subset over `std::sync::mpsc`.
+    //! `crossbeam::channel` subset: a multi-producer **multi-consumer**
+    //! queue (std's `mpsc::Receiver` is single-consumer, so this is a
+    //! hand-rolled `Mutex<VecDeque>` + condvar pair). Both halves are
+    //! `Clone`; a clone of a `Receiver` competes for the same messages.
 
-    use std::sync::mpsc;
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        /// Capacity bound; `None` for unbounded channels. A bound of 0 is
+        /// clamped to 1 (this shim has no rendezvous mode).
+        cap: Option<usize>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
 
     /// Sending half of a channel.
-    pub struct Sender<T>(Flavor<T>);
-
-    enum Flavor<T> {
-        Bounded(mpsc::SyncSender<T>),
-        Unbounded(mpsc::Sender<T>),
-    }
+    pub struct Sender<T>(Arc<Shared<T>>);
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender(match &self.0 {
-                Flavor::Bounded(s) => Flavor::Bounded(s.clone()),
-                Flavor::Unbounded(s) => Flavor::Unbounded(s.clone()),
-            })
+            self.0.inner.lock().expect("channel lock").senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.0.inner.lock().expect("channel lock");
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                // Wake receivers blocked on an empty queue so they observe
+                // disconnection instead of sleeping forever.
+                self.0.not_empty.notify_all();
+            }
         }
     }
 
@@ -64,28 +88,99 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity; the message is handed back.
+        Full(T),
+        /// Every receiver is gone; the message is handed back.
+        Disconnected(T),
+    }
+
     impl<T> Sender<T> {
         /// Send a message, blocking while a bounded channel is full.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            match &self.0 {
-                Flavor::Bounded(s) => s.send(value).map_err(|e| SendError(e.0)),
-                Flavor::Unbounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+            let mut inner = self.0.inner.lock().expect("channel lock");
+            loop {
+                if inner.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match self.0.cap {
+                    Some(cap) if inner.queue.len() >= cap => {
+                        inner = self.0.not_full.wait(inner).expect("channel lock");
+                    }
+                    _ => break,
+                }
+            }
+            inner.queue.push_back(value);
+            drop(inner);
+            self.0.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Non-blocking send: `Full` at capacity, `Disconnected` when every
+        /// receiver is gone; the message rides back in the error.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut inner = self.0.inner.lock().expect("channel lock");
+            if inner.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = self.0.cap {
+                if inner.queue.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
+            }
+            inner.queue.push_back(value);
+            drop(inner);
+            self.0.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    /// Receiving half of a channel. `Clone` yields a competing consumer:
+    /// each message is delivered to exactly one receiver.
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.inner.lock().expect("channel lock").receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self.0.inner.lock().expect("channel lock");
+            inner.receivers -= 1;
+            if inner.receivers == 0 {
+                // Wake senders blocked on a full queue so they observe
+                // disconnection instead of sleeping forever.
+                self.0.not_full.notify_all();
             }
         }
     }
 
-    /// Receiving half of a channel.
-    pub struct Receiver<T>(mpsc::Receiver<T>);
-
     impl<T> Receiver<T> {
-        /// Blocking receive; `Err` when all senders are gone.
+        /// Blocking receive; `Err` when all senders are gone and the
+        /// queue has drained.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.0.recv().map_err(|_| RecvError)
+            let mut inner = self.0.inner.lock().expect("channel lock");
+            loop {
+                if let Some(value) = inner.queue.pop_front() {
+                    drop(inner);
+                    self.0.not_full.notify_one();
+                    return Ok(value);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self.0.not_empty.wait(inner).expect("channel lock");
+            }
         }
 
-        /// Iterate until every sender is dropped.
+        /// Iterate until every sender is dropped and the queue drains.
         pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
-            self.0.iter()
+            std::iter::from_fn(move || self.recv().ok())
         }
     }
 
@@ -93,16 +188,24 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
 
+    fn shared<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            cap,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
+    }
+
     /// A channel that holds at most `cap` in-flight messages.
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::sync_channel(cap);
-        (Sender(Flavor::Bounded(tx)), Receiver(rx))
+        shared(Some(cap.max(1)))
     }
 
     /// A channel without a capacity bound.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::channel();
-        (Sender(Flavor::Unbounded(tx)), Receiver(rx))
+        shared(None)
     }
 }
 
@@ -129,5 +232,45 @@ mod tests {
         }
         drop(tx);
         assert_eq!(worker.join().unwrap(), 55);
+    }
+
+    #[test]
+    fn multi_consumer_delivers_each_message_once() {
+        let (tx, rx) = super::channel::bounded::<u64>(8);
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || rx.iter().sum::<u64>())
+            })
+            .collect();
+        drop(rx);
+        let expected: u64 = (1..=1000).sum();
+        for v in 1..=1000 {
+            tx.send(v).unwrap();
+        }
+        drop(tx);
+        let total: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn try_send_reports_full_then_disconnected() {
+        use super::channel::TrySendError;
+        let (tx, rx) = super::channel::bounded::<u8>(1);
+        tx.try_send(1).unwrap();
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
+    }
+
+    #[test]
+    fn recv_errors_after_senders_drop_and_queue_drains() {
+        let (tx, rx) = super::channel::unbounded::<u8>();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert!(rx.recv().is_err());
     }
 }
