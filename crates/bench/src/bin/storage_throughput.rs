@@ -100,6 +100,7 @@ fn main() {
             shard_count: shards,
             max_segment_bytes: segment_bytes,
             fsync: policy,
+            ..StorageOptions::default()
         };
         let (engine, _) =
             StorageEngine::open(Arc::new(FsDir::open(&dir).expect("open")), opts)
@@ -152,6 +153,7 @@ fn main() {
         shard_count: shards,
         max_segment_bytes: segment_bytes,
         fsync: FsyncPolicy::OnRotate,
+        ..StorageOptions::default()
     };
     let t0 = Instant::now();
     let (engine, cold) =
@@ -172,7 +174,9 @@ fn main() {
     // -- 3. Checkpoint the recovered store ------------------------------
     let stats = IngestStats { accepted: records, ..IngestStats::default() };
     let t0 = Instant::now();
-    let generation = engine.checkpoint(&cold.store, &stats).expect("checkpoint");
+    let generation = engine
+        .checkpoint(&cold.store, &stats, &std::collections::HashSet::new())
+        .expect("checkpoint");
     let ckpt_secs = t0.elapsed().as_secs_f64();
     println!(
         "checkpoint: generation {generation}, {} histories in {}s",

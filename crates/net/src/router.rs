@@ -10,14 +10,18 @@
 //!   pure and happens outside). The verifying key is cached at
 //!   construction, so upload-path signature checks and
 //!   [`RspService::mint_public_key`] take no lock at all.
-//! * **Read domain** — search index, ranker, and the explicit/inferred
-//!   review histograms, immutable behind an `Arc` snapshot. Readers
-//!   clone the `Arc` (one brief cell lock) and work lock-free;
-//!   [`RspService::publish_inferred`] swaps in a fresh snapshot.
+//! * **Read domain** — search index, ranker, explicit/inferred review
+//!   histograms, *and the published entity aggregates*, immutable
+//!   behind an `Arc` snapshot. Readers clone the `Arc` (one brief cell
+//!   lock) and work lock-free: `FetchAggregate` and per-hit search
+//!   detail never touch a store-shard lock.
+//!   [`RspService::publish_inferred`] and
+//!   [`RspService::publish_aggregates`] each swap in a fresh snapshot.
 //! * **Ingest domain** — [`ShardedIngest`]: spend ledger sharded by
 //!   token ledger key, history store sharded by `shard_index(record_id)`,
-//!   and a per-shard WAL-order handoff so the fsync of one shard's
-//!   upload never blocks reads, token issuance, or other shards.
+//!   and per-shard group commit so concurrent uploads on a shard share
+//!   one fsync and no flush ever blocks reads, token issuance, or
+//!   other shards.
 //!
 //! Request handling stays deterministic given each device's request
 //! sequence: rate-limit accounting is per-device, RSA signing and
@@ -27,7 +31,8 @@
 //! served pipeline's digest-equality test leans on.
 //!
 //! Lock order (debug-asserted via `orsp_server::lockorder`): mint →
-//! ledger shard → store shard → WAL order, never reversed.
+//! ledger shard → store shard → group commit → group queue, never
+//! reversed.
 
 use crate::wire::{Request, Response, SearchHit};
 use orsp_crypto::blind::{sign_blinded, verify_unblinded};
@@ -36,12 +41,12 @@ use orsp_obs::{Counter, Histogram, Registry};
 use orsp_search::{InferredSummary, Ranker, ReviewSummary, SearchIndex};
 use orsp_server::{
     lockorder::{self, rank},
-    AggregatePublisher, EntityAggregate, IngestOutcome, IngestService, IngestStats,
-    RejectReason, ShardedIngest, WalSink, MIN_AGGREGATE_SUPPORT,
+    AggregatePublisher, EntityAggregate, GroupCommitConfig, IngestOutcome, IngestService,
+    IngestStats, RejectReason, ShardedIngest, WalSink, MIN_AGGREGATE_SUPPORT,
 };
 use orsp_types::{EntityId, StarHistogram};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Router tunables.
@@ -76,6 +81,12 @@ struct ReadState {
     ranker: Ranker,
     explicit: HashMap<EntityId, StarHistogram>,
     inferred: HashMap<EntityId, StarHistogram>,
+    /// Entity aggregates as of the last [`RspService::publish_aggregates`]
+    /// call, floor-unfiltered (the k-anonymity floor is applied at read
+    /// time, so retuning the floor needs no republish). Empty until the
+    /// first publish — aggregates are a published product, like
+    /// inferences, not a live view of the store.
+    aggregates: HashMap<EntityId, EntityAggregate>,
 }
 
 /// Pre-resolved metric handles for the request hot path: one registry
@@ -181,6 +192,7 @@ impl RspService {
                 ranker,
                 explicit,
                 inferred: HashMap::new(),
+                aggregates: HashMap::new(),
             })),
             ingest: ShardedIngest::from_service(ingest, config.ingest_shards),
             config,
@@ -207,6 +219,30 @@ impl RspService {
         self.ingest.set_wal(sink);
     }
 
+    /// [`Self::set_durability`] with explicit group-commit tuning — the
+    /// daemon threads its `--group-commit*` flags through here.
+    pub fn set_durability_with(&self, sink: Arc<dyn WalSink>, config: GroupCommitConfig) {
+        self.ingest.set_wal_with(sink, config);
+    }
+
+    /// Seed the spend ledger with keys recovered from the durable log
+    /// (see [`ShardedIngest::seed_spent_tokens`]).
+    pub fn seed_spent_tokens<I: IntoIterator<Item = [u8; 32]>>(&self, keys: I) {
+        self.ingest.seed_spent_tokens(keys);
+    }
+
+    /// Snapshot of every spent-token ledger key — folded into the
+    /// checkpoint at drain so spends stay durable past log truncation.
+    pub fn spent_tokens(&self) -> HashSet<[u8; 32]> {
+        self.ingest.spent_tokens()
+    }
+
+    /// Times any store-shard lock has been acquired (ingest and publish
+    /// paths; the served read path must never move this).
+    pub fn store_lock_acquisitions(&self) -> u64 {
+        self.ingest.store_lock_acquisitions()
+    }
+
     /// This service's metric registry. The `NetServer` fronting the
     /// service records its accept/shed/protocol counters here too, so a
     /// `Stats` RPC reports the whole daemon in one snapshot.
@@ -224,6 +260,38 @@ impl RspService {
             ranker: cell.ranker,
             explicit: cell.explicit.clone(),
             inferred,
+            aggregates: cell.aggregates.clone(),
+        };
+        *cell = Arc::new(next);
+    }
+
+    /// Rebuild every entity's aggregate from the ingest shards and swap
+    /// it into the read snapshot. This is the only path that computes
+    /// aggregates from the store: `FetchAggregate` and search hits read
+    /// the snapshot, so serving them costs zero store-shard locks. Run
+    /// after ingest bursts (the daemon does, alongside inference) —
+    /// uploads between publishes are visible in stats but not in
+    /// aggregates, exactly like inferences.
+    ///
+    /// Shard by shard the publish takes brief store locks, then one
+    /// brief cell lock for the swap; in-flight reads finish against the
+    /// old snapshot.
+    pub fn publish_aggregates(&self) {
+        let aggregates: HashMap<EntityId, EntityAggregate> = self
+            .ingest
+            .histories_by_entity()
+            .into_iter()
+            .map(|(entity, histories)| {
+                (entity, AggregatePublisher::from_histories(entity, histories))
+            })
+            .collect();
+        let mut cell = self.read.lock();
+        let next = ReadState {
+            index: cell.index.clone(),
+            ranker: cell.ranker,
+            explicit: cell.explicit.clone(),
+            inferred: cell.inferred.clone(),
+            aggregates,
         };
         *cell = Arc::new(next);
     }
@@ -305,7 +373,8 @@ impl RspService {
                 }
             }
             Request::FetchAggregate { entity } => {
-                Response::Aggregate { aggregate: self.published_aggregate(entity) }
+                let snapshot = self.read_snapshot();
+                Response::Aggregate { aggregate: self.aggregate_from(&snapshot, entity) }
             }
             Request::Search { query } => {
                 let snapshot = self.read_snapshot();
@@ -329,7 +398,7 @@ impl RspService {
                                 .unwrap_or_default(),
                             ..InferredSummary::default()
                         };
-                        if let Some(agg) = self.published_aggregate(listing.id) {
+                        if let Some(agg) = self.aggregate_from(&snapshot, listing.id) {
                             inferred = inferred.with_aggregate(&agg);
                         }
                         (listing.id, explicit, inferred)
@@ -365,20 +434,20 @@ impl RspService {
         }
     }
 
-    /// The entity's aggregate if it clears the k-anonymity floor.
-    /// Histories are gathered shard by shard (brief in-memory locks) and
-    /// accumulated in record-id order, so the result is bit-identical to
-    /// computing over a merged store.
-    fn published_aggregate(&self, entity: EntityId) -> Option<EntityAggregate> {
-        let agg = AggregatePublisher::from_histories(
-            entity,
-            self.ingest.histories_for_entity(entity),
-        );
-        if agg.histories >= self.config.min_aggregate_support {
-            Some(agg)
-        } else {
-            None
-        }
+    /// The entity's published aggregate if it clears the k-anonymity
+    /// floor — a snapshot read, no store lock. Aggregates in the
+    /// snapshot were accumulated in record-id order at publish time, so
+    /// they are bit-identical to computing over a merged store.
+    fn aggregate_from(
+        &self,
+        snapshot: &ReadState,
+        entity: EntityId,
+    ) -> Option<EntityAggregate> {
+        snapshot
+            .aggregates
+            .get(&entity)
+            .filter(|agg| agg.histories >= self.config.min_aggregate_support)
+            .cloned()
     }
 
     /// The mint's public (verifying) key — distributed to devices out of
@@ -527,10 +596,67 @@ mod tests {
             Response::UploadAccepted
         );
         assert_eq!(svc.ingest_stats().accepted, 1);
+        svc.publish_aggregates();
         assert_eq!(
             svc.handle(Request::FetchAggregate { entity }),
             Response::Aggregate { aggregate: None },
-            "one history is below the k-anonymity floor"
+            "one history is below the k-anonymity floor even once published"
+        );
+    }
+
+    #[test]
+    fn aggregates_serve_from_the_snapshot_without_store_locks() {
+        let svc = service(64);
+        let public = svc.mint_public_key();
+        let mut rng = rng_for(11, "router-test-aggregate");
+        let device = DeviceId::new(5);
+        let mut wallet = TokenWallet::new(device, public);
+        let entity = EntityId::new(42);
+        for i in 0..MIN_AGGREGATE_SUPPORT as u8 {
+            let mut issuer = ServiceIssuer(&svc);
+            wallet.request_token(&mut rng, &mut issuer, Timestamp::EPOCH).unwrap();
+            let upload = orsp_client::UploadRequest {
+                record_id: orsp_types::RecordId::from_bytes([i + 1; 32]),
+                entity,
+                interaction: orsp_types::Interaction {
+                    kind: orsp_types::InteractionKind::Visit,
+                    start: Timestamp::from_seconds(i as i64 * 3600),
+                    duration: SimDuration::minutes(20),
+                    distance_travelled_m: 250.0,
+                    group_size: 1,
+                },
+                token: wallet.take_token().unwrap(),
+                release_at: Timestamp::EPOCH,
+            };
+            assert_eq!(
+                svc.handle(Request::Upload { upload, now: Timestamp::EPOCH }),
+                Response::UploadAccepted
+            );
+        }
+        // Not published yet: the snapshot has no aggregates, however many
+        // histories the store holds.
+        assert_eq!(
+            svc.handle(Request::FetchAggregate { entity }),
+            Response::Aggregate { aggregate: None }
+        );
+        svc.publish_aggregates();
+        let locks_after_publish = svc.store_lock_acquisitions();
+        let aggregate = match svc.handle(Request::FetchAggregate { entity }) {
+            Response::Aggregate { aggregate: Some(agg) } => agg,
+            other => panic!("expected a published aggregate, got {other:?}"),
+        };
+        assert_eq!(aggregate.histories, MIN_AGGREGATE_SUPPORT);
+        // Serving aggregates (and searches) is pure snapshot work.
+        for _ in 0..50 {
+            svc.handle(Request::FetchAggregate { entity });
+            svc.handle(Request::Search {
+                query: orsp_search::parse_query("dentist near 19120").unwrap(),
+            });
+        }
+        assert_eq!(
+            svc.store_lock_acquisitions(),
+            locks_after_publish,
+            "read path must not take store-shard locks"
         );
     }
 

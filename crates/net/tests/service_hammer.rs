@@ -21,7 +21,7 @@ use orsp_net::{
     ServiceConfig,
 };
 use orsp_search::{Listing, Ranker, SearchIndex, SearchQuery};
-use orsp_server::{shard_index, wal::WalEntry, WalSink};
+use orsp_server::{shard_index, wal::WalEntry, GroupCommitConfig, WalBatchItem, WalSink};
 use orsp_types::rng::rng_for;
 use orsp_types::{
     Category, Cuisine, DeviceId, EntityId, GeoPoint, Interaction, InteractionKind, RecordId,
@@ -243,7 +243,10 @@ fn concurrent_uploads_keep_exact_counters_and_snapshots_monotonic() {
     assert_eq!(service.tokens_issued(), total);
 
     // Both entities got half the uploads: well over the k-anonymity
-    // floor, and gathered across shards without losing a history.
+    // floor, and gathered across shards without losing a history when
+    // the aggregates are published into the read snapshot.
+    service.publish_aggregates();
+    let locks_after_publish = service.store_lock_acquisitions();
     for entity in [EntityId::new(1), EntityId::new(2)] {
         match service.handle(Request::FetchAggregate { entity }) {
             Response::Aggregate { aggregate: Some(agg) } => {
@@ -252,6 +255,23 @@ fn concurrent_uploads_keep_exact_counters_and_snapshots_monotonic() {
             other => panic!("aggregate for {entity:?}: {other:?}"),
         }
     }
+    // Served reads are pure snapshot work: a burst of aggregate
+    // fetches, searches, and stats moves no store-shard lock.
+    for _ in 0..25 {
+        service.handle(Request::FetchAggregate { entity: EntityId::new(1) });
+        service.handle(Request::Search {
+            query: SearchQuery {
+                zipcode: ZIP,
+                category: Category::Restaurant(Cuisine::Mexican),
+            },
+        });
+        service.handle(Request::Stats);
+    }
+    assert_eq!(
+        service.store_lock_acquisitions(),
+        locks_after_publish,
+        "the served read path took a store-shard lock"
+    );
 }
 
 /// A WAL sink that stalls on one chosen record id, so a test can hold a
@@ -360,6 +380,117 @@ fn reads_and_other_shards_proceed_while_fsync_is_in_flight() {
     assert_eq!(logged[0], fast_rid, "the unstalled shard logged first");
     assert_eq!(logged[1], slow_rid);
     assert_eq!(service.ingest_stats().accepted, 2);
+}
+
+/// A batch-aware sink that stalls while committing any group containing
+/// the chosen record, recording every group it commits.
+struct SlowBatchSink {
+    slow_record: RecordId,
+    stall: Duration,
+    in_flight: AtomicBool,
+    batches: Mutex<Vec<Vec<RecordId>>>,
+}
+
+impl WalSink for SlowBatchSink {
+    fn log_append(&self, entry: &WalEntry) -> orsp_types::Result<()> {
+        self.log_upload_batch(&[WalBatchItem { spend: None, entry: *entry }])
+    }
+
+    fn log_upload_batch(&self, items: &[WalBatchItem]) -> orsp_types::Result<()> {
+        if items.iter().any(|i| i.entry.record_id == self.slow_record) {
+            self.in_flight.store(true, Ordering::Release);
+            std::thread::sleep(self.stall);
+            self.in_flight.store(false, Ordering::Release);
+        }
+        self.batches
+            .lock()
+            .unwrap()
+            .push(items.iter().map(|i| i.entry.record_id).collect());
+        Ok(())
+    }
+}
+
+/// Group commit under a held-open fsync: uploaders landing on the SAME
+/// shard while its leader is stuck in the sink must enqueue, ride the
+/// next leader's single batch once the stall clears, and ack — while an
+/// upload to a different shard overtakes the whole affair.
+#[test]
+fn same_shard_uploaders_group_behind_a_held_open_fsync() {
+    const FOLLOWERS: usize = 4;
+    let service = hammer_service(16);
+    let shard0 = records_for_shard(&service, 0, FOLLOWERS + 1);
+    let slow_rid = shard0[0];
+    let follower_rids = &shard0[1..];
+    let fast_rid = records_for_shard(&service, 1, 1)[0];
+
+    let sink = Arc::new(SlowBatchSink {
+        slow_record: slow_rid,
+        stall: Duration::from_millis(500),
+        in_flight: AtomicBool::new(false),
+        batches: Mutex::new(Vec::new()),
+    });
+    service.set_durability_with(
+        Arc::clone(&sink) as Arc<dyn WalSink>,
+        GroupCommitConfig { batch_max: 16, window_us: 0 },
+    );
+
+    let mut tokens = mint_tokens(&service, DeviceId::new(11), FOLLOWERS + 2);
+
+    std::thread::scope(|s| {
+        let (service, sink) = (&service, &sink);
+        let slow_token = tokens.pop().unwrap();
+        s.spawn(move || {
+            assert_eq!(
+                service.handle(upload_for(slow_rid, EntityId::new(1), slow_token)),
+                Response::UploadAccepted,
+                "the stalled leader's own upload still acks"
+            );
+        });
+        while !sink.in_flight.load(Ordering::Acquire) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+
+        // Same-shard followers arrive while the leader is stuck: they
+        // enqueue and block awaiting durability.
+        for rid in follower_rids.iter().copied() {
+            let token = tokens.pop().unwrap();
+            s.spawn(move || {
+                assert_eq!(
+                    service.handle(upload_for(rid, EntityId::new(1), token)),
+                    Response::UploadAccepted,
+                    "follower behind the stall still acks"
+                );
+            });
+        }
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(
+            sink.in_flight.load(Ordering::Acquire),
+            "stall window must outlast the followers' enqueue"
+        );
+
+        // A different shard is unaffected by shard 0's held-open fsync.
+        let fast_token = tokens.pop().unwrap();
+        assert_eq!(
+            service.handle(upload_for(fast_rid, EntityId::new(2), fast_token)),
+            Response::UploadAccepted
+        );
+        assert!(
+            sink.in_flight.load(Ordering::Acquire),
+            "the other shard's upload finished before the stalled fsync"
+        );
+    });
+
+    let batches = sink.batches.lock().unwrap();
+    let committed: Vec<RecordId> = batches.iter().flatten().copied().collect();
+    assert_eq!(committed.len(), FOLLOWERS + 2, "every upload committed exactly once");
+    assert!(
+        batches.iter().any(|b| b.len() >= 2),
+        "followers queued behind the stall must share a commit group, got {batches:?}"
+    );
+    for rid in follower_rids {
+        assert!(committed.contains(rid));
+    }
+    assert_eq!(service.ingest_stats().accepted, (FOLLOWERS + 2) as u64);
 }
 
 /// Real TCP: six concurrent connections against six workers — four

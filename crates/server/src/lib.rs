@@ -45,9 +45,10 @@ pub use sharded::{
     deterministic_ingest, deterministic_ingest_logged, parallel_ingest, shard_index,
     ParallelStats, ShardedStore,
 };
-pub use sharded_ingest::{IngestOutcome, ShardedIngest};
+pub use sharded_ingest::{GroupCommitConfig, IngestOutcome, ShardedIngest};
 pub use store::{HistoryStore, StoredHistory};
 pub use wal::{
-    crc32, encode_record, rebuild_store, replay, wal_header, Replay, WalEntry, WalFault,
-    WalSink, WalWriter, WAL_HEADER_LEN, WAL_RECORD_LEN,
+    crc32, encode_batch_item, encode_record, encode_token_spend, rebuild_store, replay,
+    wal_header, Replay, WalBatchItem, WalEntry, WalFault, WalSink, WalWriter,
+    WAL_HEADER_LEN, WAL_RECORD_LEN, WAL_TOKEN_RECORD_LEN,
 };

@@ -1,7 +1,12 @@
 //! Debug-only lock-order discipline for the domain-partitioned service.
 //!
 //! The service core holds at most a handful of locks at once, always in
-//! one direction: **mint → ledger shard → store shard → WAL order**.
+//! one direction: **mint → ledger shard → store shard → group commit →
+//! group queue**, where "group commit" is the per-shard leader lock and
+//! "group queue" the pending-batch list. The queue ranks *above* both
+//! the store shard (followers enqueue while holding the store lock, so
+//! apply order and WAL order coincide) and the commit lock (the leader
+//! drains the queue while holding the commit lock).
 //! Any path that acquires them in the reverse direction can deadlock
 //! against the upload path. This module makes the discipline executable:
 //! in debug builds each acquisition registers its rank in a thread-local
@@ -25,8 +30,14 @@ pub mod rank {
     pub const LEDGER_SHARD: u8 = 2;
     /// A store shard (keyed by record id).
     pub const STORE_SHARD: u8 = 3;
-    /// A shard's WAL-order handoff lock.
+    /// A shard's group-commit leader lock (formerly the WAL-order
+    /// handoff): whoever holds it drains and durably commits the queue.
     pub const WAL_ORDER: u8 = 4;
+    /// A shard's group-commit queue. Ranked above both the store shard
+    /// (enqueue happens under the store lock) and the leader lock (the
+    /// leader drains under the commit lock); it is only ever held for
+    /// push/drain instants, never across I/O.
+    pub const GROUP_QUEUE: u8 = 5;
 }
 
 #[cfg(debug_assertions)]
@@ -60,7 +71,8 @@ pub fn enter(rank: u8) -> RankGuard {
                 mask >> rank == 0,
                 "lock-order violation: acquiring rank {rank} while holding mask \
                  {mask:#b} (required order: mint(1) -> ledger shard(2) -> \
-                 store shard(3) -> wal order(4), never reversed)"
+                 store shard(3) -> group commit(4) -> group queue(5), never \
+                 reversed)"
             );
             held.set(mask | (1 << rank));
         });
@@ -95,11 +107,17 @@ mod tests {
         drop(a);
         let b = enter(rank::LEDGER_SHARD);
         let c = enter(rank::STORE_SHARD);
-        let d = enter(rank::WAL_ORDER);
-        // Handoff shape: store shard released while WAL order stays held.
+        // Enqueue shape: the group queue is pushed while the store shard
+        // is held, then both release before the commit lock is taken.
+        let q = enter(rank::GROUP_QUEUE);
+        drop(q);
         drop(c);
-        drop(d);
         drop(b);
+        // Leader shape: drain the queue while holding the commit lock.
+        let d = enter(rank::WAL_ORDER);
+        let q = enter(rank::GROUP_QUEUE);
+        drop(q);
+        drop(d);
         // Ranks are reusable once released.
         let _again = enter(rank::MINT);
     }

@@ -8,11 +8,14 @@
 //! builds directly on these encode/decode primitives:
 //!
 //! ```text
-//! file   := header record*
-//! header := magic:u32 "OWAL" | version:u8
-//! record := len:u32 | crc32:u32 | payload[len]
-//! payload:= record_id[32] | entity:u64 | kind:u8 | start:i64
-//!         | duration:i64 | distance:f64 | group:u16
+//! file    := header record*
+//! header  := magic:u32 "OWAL" | version:u8   (current version: 2)
+//! record  := len:u32 | crc32:u32 | payload[len]
+//! payload := tag:u8 | body                   (v2; v1 had no tag byte)
+//! body    := history | token-spend           (selected by tag)
+//! history := record_id[32] | entity:u64 | kind:u8 | start:i64
+//!          | duration:i64 | distance:f64 | group:u16      (tag 0)
+//! token-spend := ledger_key[32]                           (tag 1)
 //! ```
 //!
 //! All integers little-endian. The CRC covers the payload, so bit rot is
@@ -20,6 +23,10 @@
 //! reported as a typed [`WalFault`] carrying the record index and byte
 //! offset — recovery code decides whether a fault is a tolerable crash
 //! artifact (torn tail of the active segment) or real corruption.
+//!
+//! Version 1 segments (history records only, no tag byte) still replay:
+//! a data directory written before the spend ledger became durable
+//! recovers its histories and an empty spent-token set.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use orsp_types::{
@@ -27,13 +34,23 @@ use orsp_types::{
 };
 
 const MAGIC: u32 = 0x4F57_414C; // "OWAL"
-const VERSION: u8 = 1;
-const PAYLOAD_LEN: usize = 32 + 8 + 1 + 8 + 8 + 8 + 2;
+const VERSION: u8 = 2;
+const V1: u8 = 1;
+/// v1 payload: a bare history body, no tag byte.
+const V1_PAYLOAD_LEN: usize = 32 + 8 + 1 + 8 + 8 + 8 + 2;
+/// v2 history payload: tag byte + history body.
+const HISTORY_PAYLOAD_LEN: usize = 1 + V1_PAYLOAD_LEN;
+/// v2 token-spend payload: tag byte + 32-byte ledger key.
+const TOKEN_PAYLOAD_LEN: usize = 1 + 32;
+const TAG_HISTORY: u8 = 0;
+const TAG_TOKEN_SPEND: u8 = 1;
 
 /// Bytes of the segment header (magic + version).
 pub const WAL_HEADER_LEN: usize = 5;
-/// On-disk bytes of one encoded record (length + CRC + payload).
-pub const WAL_RECORD_LEN: usize = 8 + PAYLOAD_LEN;
+/// On-disk bytes of one encoded history record (length + CRC + payload).
+pub const WAL_RECORD_LEN: usize = 8 + HISTORY_PAYLOAD_LEN;
+/// On-disk bytes of one encoded token-spend record.
+pub const WAL_TOKEN_RECORD_LEN: usize = 8 + TOKEN_PAYLOAD_LEN;
 
 const CRC32_TABLE: [u32; 256] = crc32_table();
 
@@ -78,6 +95,19 @@ pub struct WalEntry {
     pub interaction: Interaction,
 }
 
+/// One accepted upload bound for the log: the history entry plus,
+/// optionally, the spent-token ledger key that admitted it. Group
+/// commit logs the pair adjacently so a single fsync covers both —
+/// an acked upload's token can never be replayed after a crash.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WalBatchItem {
+    /// Ledger key of the token this upload spent, if the caller wants
+    /// the spend durable alongside the history record.
+    pub spend: Option<[u8; 32]>,
+    /// The history entry.
+    pub entry: WalEntry,
+}
+
 /// A sink for accepted appends: the durability hook the ingest tier
 /// calls with every upload it admits, in admission order per record.
 /// `orsp-storage`'s engine implements this over segmented on-disk logs;
@@ -86,6 +116,29 @@ pub trait WalSink: Send + Sync {
     /// Durably log one accepted entry. An error means the entry may not
     /// survive a restart — callers surface it rather than swallow it.
     fn log_append(&self, entry: &WalEntry) -> orsp_types::Result<()>;
+
+    /// Durably log one spent-token ledger key. The default is a no-op
+    /// so vector-backed test sinks that only watch history records keep
+    /// working; the storage engine overrides it with a real append.
+    fn log_token_spend(&self, _key: &[u8; 32]) -> orsp_types::Result<()> {
+        Ok(())
+    }
+
+    /// Durably log a whole commit group with (at most) one sync. The
+    /// default preserves the single-entry path — it degrades to one
+    /// `log_token_spend` + `log_append` per item in order, which is
+    /// exactly what test sinks observing individual appends expect.
+    /// The storage engine overrides this with one buffered write and
+    /// one fsync per group.
+    fn log_upload_batch(&self, items: &[WalBatchItem]) -> orsp_types::Result<()> {
+        for item in items {
+            if let Some(key) = &item.spend {
+                self.log_token_spend(key)?;
+            }
+            self.log_append(&item.entry)?;
+        }
+        Ok(())
+    }
 }
 
 fn kind_to_u8(kind: InteractionKind) -> u8 {
@@ -113,10 +166,19 @@ pub fn wal_header() -> [u8; WAL_HEADER_LEN] {
     [m[0], m[1], m[2], m[3], VERSION]
 }
 
-/// Encode one record exactly as [`WalWriter::append`] lays it out:
-/// `len | crc | payload`.
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Encode one history record exactly as [`WalWriter::append`] lays it
+/// out: `len | crc | tag | body`.
 pub fn encode_record(entry: &WalEntry) -> Vec<u8> {
-    let mut payload = BytesMut::with_capacity(PAYLOAD_LEN);
+    let mut payload = BytesMut::with_capacity(HISTORY_PAYLOAD_LEN);
+    payload.put_u8(TAG_HISTORY);
     payload.put_slice(entry.record_id.as_bytes());
     payload.put_u64_le(entry.entity.raw());
     payload.put_u8(kind_to_u8(entry.interaction.kind));
@@ -124,10 +186,25 @@ pub fn encode_record(entry: &WalEntry) -> Vec<u8> {
     payload.put_i64_le(entry.interaction.duration.as_seconds());
     payload.put_f64_le(entry.interaction.distance_travelled_m);
     payload.put_u16_le(entry.interaction.group_size);
-    let mut out = Vec::with_capacity(WAL_RECORD_LEN);
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(&crc32(&payload).to_le_bytes());
-    out.extend_from_slice(&payload);
+    frame(&payload)
+}
+
+/// Encode one token-spend record: `len | crc | tag | ledger_key`.
+pub fn encode_token_spend(key: &[u8; 32]) -> Vec<u8> {
+    let mut payload = BytesMut::with_capacity(TOKEN_PAYLOAD_LEN);
+    payload.put_u8(TAG_TOKEN_SPEND);
+    payload.put_slice(key);
+    frame(&payload)
+}
+
+/// Encode one batch item: its token-spend record (if any) followed by
+/// its history record — the exact bytes group commit appends.
+pub fn encode_batch_item(item: &WalBatchItem) -> Vec<u8> {
+    let mut out = match &item.spend {
+        Some(key) => encode_token_spend(key),
+        None => Vec::with_capacity(WAL_RECORD_LEN),
+    };
+    out.extend_from_slice(&encode_record(&item.entry));
     out
 }
 
@@ -151,9 +228,15 @@ impl WalWriter {
         WalWriter { buf, entries: 0 }
     }
 
-    /// Append one entry.
+    /// Append one history entry.
     pub fn append(&mut self, entry: &WalEntry) {
         self.buf.put_slice(&encode_record(entry));
+        self.entries += 1;
+    }
+
+    /// Append one token-spend record.
+    pub fn append_token_spend(&mut self, key: &[u8; 32]) {
+        self.buf.put_slice(&encode_token_spend(key));
         self.entries += 1;
     }
 
@@ -210,6 +293,14 @@ pub enum WalFault {
         /// Byte offset where the bad record starts.
         offset: u64,
     },
+    /// A v2 record's tag byte disagrees with its length, or names an
+    /// unknown record type.
+    BadTag {
+        /// Index of the bad record.
+        index: u64,
+        /// Byte offset where the bad record starts.
+        offset: u64,
+    },
 }
 
 impl WalFault {
@@ -219,7 +310,8 @@ impl WalFault {
             WalFault::TornTail { index, .. }
             | WalFault::BadCrc { index, .. }
             | WalFault::BadLength { index, .. }
-            | WalFault::BadKind { index, .. } => index,
+            | WalFault::BadKind { index, .. }
+            | WalFault::BadTag { index, .. } => index,
         }
     }
 
@@ -229,7 +321,8 @@ impl WalFault {
             WalFault::TornTail { offset, .. }
             | WalFault::BadCrc { offset, .. }
             | WalFault::BadLength { offset, .. }
-            | WalFault::BadKind { offset, .. } => offset,
+            | WalFault::BadKind { offset, .. }
+            | WalFault::BadTag { offset, .. } => offset,
         }
     }
 
@@ -244,6 +337,7 @@ impl WalFault {
             WalFault::BadCrc { .. } => "wal_fault_bad_crc_total",
             WalFault::BadLength { .. } => "wal_fault_bad_length_total",
             WalFault::BadKind { .. } => "wal_fault_bad_kind_total",
+            WalFault::BadTag { .. } => "wal_fault_bad_tag_total",
         }
     }
 }
@@ -263,6 +357,9 @@ impl std::fmt::Display for WalFault {
             WalFault::BadKind { index, offset } => {
                 write!(f, "unknown interaction kind at record {index} (byte offset {offset})")
             }
+            WalFault::BadTag { index, offset } => {
+                write!(f, "bad record tag at record {index} (byte offset {offset})")
+            }
         }
     }
 }
@@ -272,6 +369,9 @@ impl std::fmt::Display for WalFault {
 pub struct Replay {
     /// Entries recovered, in append order.
     pub entries: Vec<WalEntry>,
+    /// Spent-token ledger keys recovered, in append order. Always empty
+    /// for version-1 logs, which predate durable spends.
+    pub spent_tokens: Vec<[u8; 32]>,
     /// Why replay stopped early, if it did. `None` means the buffer
     /// ended exactly on a record boundary (a clean log).
     pub fault: Option<WalFault>,
@@ -308,11 +408,12 @@ pub fn replay(data: &[u8]) -> orsp_types::Result<Replay> {
         return Err(OrspError::InvalidConfig(format!("bad WAL magic {magic:#010x}")));
     }
     let version = data.get_u8();
-    if version != VERSION {
+    if version != VERSION && version != V1 {
         return Err(OrspError::InvalidConfig(format!("unsupported WAL version {version}")));
     }
 
     let mut entries = Vec::new();
+    let mut spent_tokens = Vec::new();
     let mut fault = None;
     let mut index = 0u64;
     while !data.is_empty() {
@@ -323,7 +424,12 @@ pub fn replay(data: &[u8]) -> orsp_types::Result<Replay> {
         }
         let len = data.get_u32_le() as usize;
         let crc = data.get_u32_le();
-        if len != PAYLOAD_LEN {
+        let len_ok = if version == V1 {
+            len == V1_PAYLOAD_LEN
+        } else {
+            len == HISTORY_PAYLOAD_LEN || len == TOKEN_PAYLOAD_LEN
+        };
+        if !len_ok {
             fault = Some(WalFault::BadLength { index, offset, len: len as u32 });
             break;
         }
@@ -337,6 +443,30 @@ pub fn replay(data: &[u8]) -> orsp_types::Result<Replay> {
             break;
         }
         let mut p = payload;
+        // v1 payloads are bare history bodies; v2 leads with a tag byte
+        // whose value must agree with the framed length.
+        let tag = if version == V1 { TAG_HISTORY } else { p.get_u8() };
+        let expected = match tag {
+            TAG_HISTORY if version == V1 => V1_PAYLOAD_LEN,
+            TAG_HISTORY => HISTORY_PAYLOAD_LEN,
+            TAG_TOKEN_SPEND => TOKEN_PAYLOAD_LEN,
+            _ => {
+                fault = Some(WalFault::BadTag { index, offset });
+                break;
+            }
+        };
+        if len != expected {
+            fault = Some(WalFault::BadTag { index, offset });
+            break;
+        }
+        if tag == TAG_TOKEN_SPEND {
+            let mut key = [0u8; 32];
+            p.copy_to_slice(&mut key);
+            spent_tokens.push(key);
+            data.advance(len);
+            index += 1;
+            continue;
+        }
         let mut record_id = [0u8; 32];
         p.copy_to_slice(&mut record_id);
         let entity = EntityId::new(p.get_u64_le());
@@ -365,7 +495,7 @@ pub fn replay(data: &[u8]) -> orsp_types::Result<Replay> {
     if let Some(f) = fault {
         orsp_obs::global().counter(f.obs_name()).inc();
     }
-    Ok(Replay { entries, fault })
+    Ok(Replay { entries, spent_tokens, fault })
 }
 
 /// Rebuild a [`crate::HistoryStore`] from a replayed WAL.
@@ -503,12 +633,12 @@ mod tests {
         let mut w = WalWriter::new();
         w.append(&entry(1, 0));
         let mut bytes = w.finish().to_vec();
-        // Kind byte lives after len(4) + crc(4) + id(32) + entity(8);
-        // refresh the CRC so only the kind check can fire.
-        let kind_at = WAL_HEADER_LEN + 8 + 32 + 8;
+        // Kind byte lives after len(4) + crc(4) + tag(1) + id(32) +
+        // entity(8); refresh the CRC so only the kind check can fire.
+        let kind_at = WAL_HEADER_LEN + 8 + 1 + 32 + 8;
         bytes[kind_at] = 200;
         let payload_start = WAL_HEADER_LEN + 8;
-        let crc = crc32(&bytes[payload_start..payload_start + PAYLOAD_LEN]);
+        let crc = crc32(&bytes[payload_start..payload_start + HISTORY_PAYLOAD_LEN]);
         bytes[WAL_HEADER_LEN + 4..WAL_HEADER_LEN + 8].copy_from_slice(&crc.to_le_bytes());
         let r = replay(&bytes).unwrap();
         assert!(r.entries.is_empty());
@@ -532,6 +662,84 @@ mod tests {
         assert_eq!(r.fault.unwrap().offset(), (WAL_HEADER_LEN + WAL_RECORD_LEN) as u64);
         assert_eq!(r.entries.len(), 1);
         assert_eq!(r.entries[0], entry(1, 0));
+    }
+
+    #[test]
+    fn token_spends_round_trip_interleaved_with_histories() {
+        let mut w = WalWriter::new();
+        w.append_token_spend(&[7u8; 32]);
+        w.append(&entry(1, 0));
+        w.append_token_spend(&[9u8; 32]);
+        w.append(&entry(2, 1_000));
+        assert_eq!(w.len(), 4);
+        let bytes = w.finish();
+        assert_eq!(
+            bytes.len(),
+            WAL_HEADER_LEN + 2 * WAL_RECORD_LEN + 2 * WAL_TOKEN_RECORD_LEN
+        );
+        let r = replay(&bytes).unwrap();
+        assert!(r.is_clean());
+        assert_eq!(r.entries, vec![entry(1, 0), entry(2, 1_000)]);
+        assert_eq!(r.spent_tokens, vec![[7u8; 32], [9u8; 32]]);
+    }
+
+    #[test]
+    fn batch_item_encoding_is_spend_then_history() {
+        let item = WalBatchItem { spend: Some([3u8; 32]), entry: entry(4, 0) };
+        let mut expect = encode_token_spend(&[3u8; 32]);
+        expect.extend_from_slice(&encode_record(&entry(4, 0)));
+        assert_eq!(encode_batch_item(&item), expect);
+        let bare = WalBatchItem { spend: None, entry: entry(4, 0) };
+        assert_eq!(encode_batch_item(&bare), encode_record(&entry(4, 0)));
+    }
+
+    #[test]
+    fn version_1_logs_still_replay_without_tokens() {
+        // Hand-build a v1 buffer: old header byte, bare history payloads
+        // with no tag.
+        let e = entry(5, 2_000);
+        let mut payload = Vec::with_capacity(V1_PAYLOAD_LEN);
+        payload.extend_from_slice(e.record_id.as_bytes());
+        payload.extend_from_slice(&e.entity.raw().to_le_bytes());
+        payload.push(0); // Visit
+        payload.extend_from_slice(&e.interaction.start.as_seconds().to_le_bytes());
+        payload.extend_from_slice(&e.interaction.duration.as_seconds().to_le_bytes());
+        payload.extend_from_slice(&e.interaction.distance_travelled_m.to_le_bytes());
+        payload.extend_from_slice(&e.interaction.group_size.to_le_bytes());
+        assert_eq!(payload.len(), V1_PAYLOAD_LEN);
+        let mut bytes = wal_header().to_vec();
+        bytes[4] = V1;
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        let r = replay(&bytes).unwrap();
+        assert!(r.is_clean());
+        assert_eq!(r.entries, vec![e]);
+        assert!(r.spent_tokens.is_empty());
+    }
+
+    #[test]
+    fn tag_length_mismatch_reported() {
+        // A token-spend length with a history tag: valid frame length,
+        // valid CRC, contradictory tag.
+        let mut payload = vec![TAG_HISTORY];
+        payload.extend_from_slice(&[0u8; 32]);
+        assert_eq!(payload.len(), TOKEN_PAYLOAD_LEN);
+        let mut bytes = wal_header().to_vec();
+        bytes.extend_from_slice(&frame(&payload));
+        let r = replay(&bytes).unwrap();
+        assert!(r.entries.is_empty());
+        assert_eq!(
+            r.fault,
+            Some(WalFault::BadTag { index: 0, offset: WAL_HEADER_LEN as u64 })
+        );
+        // An unknown tag with a plausible length fails the same way.
+        let mut payload = vec![9u8];
+        payload.extend_from_slice(&[0u8; 32]);
+        let mut bytes = wal_header().to_vec();
+        bytes.extend_from_slice(&frame(&payload));
+        let r = replay(&bytes).unwrap();
+        assert!(matches!(r.fault, Some(WalFault::BadTag { .. })));
     }
 
     #[test]

@@ -1,11 +1,12 @@
 //! Checkpoints: a whole serialized [`HistoryStore`] plus the ingest
-//! counters, written so recovery can skip replaying the log's prefix.
+//! counters and the spent-token ledger, written so recovery can skip
+//! replaying the log's prefix.
 //!
 //! Format (all integers little-endian):
 //!
 //! ```text
 //! magic   "OCKP"  u32
-//! version u8      (1)
+//! version u8      (2; 1 still decodes)
 //! len     u32     payload length
 //! crc     u32     crc32(payload)
 //! payload:
@@ -18,21 +19,27 @@
 //!     n          u32       interaction count
 //!     per interaction: kind u8 | start i64 | duration i64 |
 //!                      distance f64 | group u16
+//!   n_tokens     u64       (version ≥ 2 only)
+//!   per token (sorted by key bytes):
+//!     ledger_key [u8; 32]
 //! ```
 //!
-//! Records are sorted by id so the same store always encodes to the
-//! same bytes, regardless of hash-map iteration order — checkpoints are
-//! comparable across runs and thread counts, like everything else in
-//! this repo.
+//! Records and tokens are sorted so the same state always encodes to
+//! the same bytes, regardless of hash-map iteration order — checkpoints
+//! are comparable across runs and thread counts, like everything else
+//! in this repo. Version-1 checkpoints (written before the spend ledger
+//! became durable) decode with an empty token set.
 
 use crate::error::{Result, StorageError};
 use orsp_server::{crc32, HistoryStore, IngestStats};
 use orsp_types::{
     EntityId, Interaction, InteractionKind, RecordId, SimDuration, Timestamp,
 };
+use std::collections::HashSet;
 
 const CHECKPOINT_MAGIC: u32 = 0x4F43_4B50; // "OCKP"
-const CHECKPOINT_VERSION: u8 = 1;
+const CHECKPOINT_VERSION: u8 = 2;
+const CHECKPOINT_V1: u8 = 1;
 
 fn kind_to_u8(kind: InteractionKind) -> u8 {
     // Same mapping as the WAL record codec (declaration order).
@@ -43,8 +50,13 @@ fn kind_from_u8(v: u8) -> Option<InteractionKind> {
     InteractionKind::ALL.get(v as usize).copied()
 }
 
-/// Serialize `store` + `stats` into a checkpoint buffer.
-pub fn encode_checkpoint(store: &HistoryStore, stats: &IngestStats) -> Vec<u8> {
+/// Serialize `store` + `stats` + the spent-token ledger into a
+/// checkpoint buffer.
+pub fn encode_checkpoint(
+    store: &HistoryStore,
+    stats: &IngestStats,
+    spent_tokens: &HashSet<[u8; 32]>,
+) -> Vec<u8> {
     let mut entries: Vec<_> = store.iter().collect();
     entries.sort_by_key(|(id, _)| *id.as_bytes());
 
@@ -71,6 +83,12 @@ pub fn encode_checkpoint(store: &HistoryStore, stats: &IngestStats) -> Vec<u8> {
             payload.extend_from_slice(&r.distance_travelled_m.to_le_bytes());
             payload.extend_from_slice(&r.group_size.to_le_bytes());
         }
+    }
+    let mut tokens: Vec<_> = spent_tokens.iter().collect();
+    tokens.sort();
+    payload.extend_from_slice(&(tokens.len() as u64).to_le_bytes());
+    for key in tokens {
+        payload.extend_from_slice(key);
     }
 
     let mut out = Vec::with_capacity(13 + payload.len());
@@ -126,8 +144,12 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Decode a checkpoint buffer back into its store and counters.
-pub fn decode_checkpoint(name: &str, data: &[u8]) -> Result<(HistoryStore, IngestStats)> {
+/// Decode a checkpoint buffer back into its store, counters, and
+/// spent-token ledger (empty for version-1 checkpoints).
+pub fn decode_checkpoint(
+    name: &str,
+    data: &[u8],
+) -> Result<(HistoryStore, IngestStats, HashSet<[u8; 32]>)> {
     let corrupt = |detail: String| StorageError::Corrupt { name: name.to_string(), detail };
     if data.len() < 13 {
         return Err(corrupt("shorter than the fixed header".into()));
@@ -135,8 +157,9 @@ pub fn decode_checkpoint(name: &str, data: &[u8]) -> Result<(HistoryStore, Inges
     if u32::from_le_bytes(data[0..4].try_into().unwrap()) != CHECKPOINT_MAGIC {
         return Err(corrupt("bad magic".into()));
     }
-    if data[4] != CHECKPOINT_VERSION {
-        return Err(corrupt(format!("unsupported version {}", data[4])));
+    let version = data[4];
+    if version != CHECKPOINT_VERSION && version != CHECKPOINT_V1 {
+        return Err(corrupt(format!("unsupported version {version}")));
     }
     let len = u32::from_le_bytes(data[5..9].try_into().unwrap()) as usize;
     let crc = u32::from_le_bytes(data[9..13].try_into().unwrap());
@@ -182,17 +205,24 @@ pub fn decode_checkpoint(name: &str, data: &[u8]) -> Result<(HistoryStore, Inges
             })?;
         }
     }
+    let mut spent_tokens = HashSet::new();
+    if version >= CHECKPOINT_VERSION {
+        let n_tokens = c.u64()?;
+        for _ in 0..n_tokens {
+            spent_tokens.insert(<[u8; 32]>::try_from(c.take(32)?).unwrap());
+        }
+    }
     if c.at != payload.len() {
         return Err(corrupt(format!("{} trailing bytes after records", payload.len() - c.at)));
     }
-    Ok((store, stats))
+    Ok((store, stats, spent_tokens))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn populated() -> (HistoryStore, IngestStats) {
+    fn populated() -> (HistoryStore, IngestStats, HashSet<[u8; 32]>) {
         let mut store = HistoryStore::new();
         for i in 0u8..10 {
             let id = RecordId::from_bytes([i; 32]);
@@ -214,15 +244,18 @@ mod tests {
             bad_record: 2,
             entity_mismatch: 0,
         };
-        (store, stats)
+        let tokens: HashSet<[u8; 32]> = (0u8..25).map(|i| [i.wrapping_mul(7); 32]).collect();
+        (store, stats, tokens)
     }
 
     #[test]
-    fn round_trips_store_and_stats() {
-        let (store, stats) = populated();
-        let buf = encode_checkpoint(&store, &stats);
-        let (decoded_store, decoded_stats) = decode_checkpoint("ckpt", &buf).unwrap();
+    fn round_trips_store_stats_and_tokens() {
+        let (store, stats, tokens) = populated();
+        let buf = encode_checkpoint(&store, &stats, &tokens);
+        let (decoded_store, decoded_stats, decoded_tokens) =
+            decode_checkpoint("ckpt", &buf).unwrap();
         assert_eq!(decoded_stats, stats);
+        assert_eq!(decoded_tokens, tokens);
         assert_eq!(decoded_store.len(), store.len());
         assert_eq!(decoded_store.total_interactions(), store.total_interactions());
         for (id, stored) in store.iter() {
@@ -233,14 +266,36 @@ mod tests {
 
     #[test]
     fn encoding_is_deterministic() {
-        let (store, stats) = populated();
-        assert_eq!(encode_checkpoint(&store, &stats), encode_checkpoint(&store, &stats));
+        let (store, stats, tokens) = populated();
+        assert_eq!(
+            encode_checkpoint(&store, &stats, &tokens),
+            encode_checkpoint(&store, &stats, &tokens)
+        );
+    }
+
+    #[test]
+    fn version_1_checkpoints_decode_with_an_empty_token_set() {
+        // A v1 checkpoint is a v2 one minus the token section, with the
+        // version byte rolled back — exactly what pre-ledger builds wrote.
+        let (store, stats, _) = populated();
+        let v2 = encode_checkpoint(&store, &stats, &HashSet::new());
+        let payload = &v2[13..v2.len() - 8]; // strip header and n_tokens=0
+        let mut v1 = Vec::with_capacity(13 + payload.len());
+        v1.extend_from_slice(&CHECKPOINT_MAGIC.to_le_bytes());
+        v1.push(CHECKPOINT_V1);
+        v1.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        v1.extend_from_slice(&crc32(payload).to_le_bytes());
+        v1.extend_from_slice(payload);
+        let (s, st, tokens) = decode_checkpoint("old", &v1).unwrap();
+        assert_eq!(s.len(), store.len());
+        assert_eq!(st, stats);
+        assert!(tokens.is_empty());
     }
 
     #[test]
     fn rejects_damage() {
-        let (store, stats) = populated();
-        let good = encode_checkpoint(&store, &stats);
+        let (store, stats, tokens) = populated();
+        let good = encode_checkpoint(&store, &stats, &tokens);
         // Truncated.
         assert!(decode_checkpoint("c", &good[..good.len() - 1]).is_err());
         assert!(decode_checkpoint("c", &good[..4]).is_err());
@@ -261,9 +316,10 @@ mod tests {
     fn empty_store_round_trips() {
         let store = HistoryStore::new();
         let stats = IngestStats::default();
-        let buf = encode_checkpoint(&store, &stats);
-        let (s, st) = decode_checkpoint("c", &buf).unwrap();
+        let buf = encode_checkpoint(&store, &stats, &HashSet::new());
+        let (s, st, tokens) = decode_checkpoint("c", &buf).unwrap();
         assert!(s.is_empty());
         assert_eq!(st, stats);
+        assert!(tokens.is_empty());
     }
 }

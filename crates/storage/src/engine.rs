@@ -47,7 +47,9 @@ use crate::segment::{
     parse_segment_name, SegmentWriter,
 };
 use orsp_obs::{Counter, Histogram};
-use orsp_server::{replay, shard_index, HistoryStore, IngestStats, WalEntry, WalSink};
+use orsp_server::{
+    replay, shard_index, HistoryStore, IngestStats, WalBatchItem, WalEntry, WalSink,
+};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Instant;
@@ -77,6 +79,13 @@ pub struct StorageOptions {
     pub max_segment_bytes: u64,
     /// Segment fsync policy.
     pub fsync: FsyncPolicy,
+    /// Most uploads one group commit may cover (≥ 1). The serving tier
+    /// reads this off the engine to size its per-shard commit batches.
+    pub group_commit_batch_max: usize,
+    /// Microseconds a group-commit leader holds its window open before
+    /// draining, letting more concurrent uploaders join the batch.
+    /// 0 drains immediately.
+    pub group_commit_window_us: u64,
 }
 
 impl Default for StorageOptions {
@@ -85,6 +94,8 @@ impl Default for StorageOptions {
             shard_count: 8,
             max_segment_bytes: 4 * 1024 * 1024,
             fsync: FsyncPolicy::OnRotate,
+            group_commit_batch_max: 64,
+            group_commit_window_us: 0,
         }
     }
 }
@@ -108,6 +119,10 @@ pub struct RecoveryReport {
     pub replay_us: u64,
     /// True when a checkpoint seeded the store.
     pub from_checkpoint: bool,
+    /// Spent-token ledger keys recovered from the checkpoint and the
+    /// replayed tail. Seeding the serving tier's ledger with these keeps
+    /// tokens spent across a crash (no post-crash replay window).
+    pub spent_tokens: std::collections::HashSet<[u8; 32]>,
 }
 
 struct Shard {
@@ -129,7 +144,9 @@ struct EngineMetrics {
     fsyncs: Counter,
     rotations: Counter,
     checkpoints: Counter,
+    group_commits: Counter,
     recovery_replay: Histogram,
+    group_commit_batch: Histogram,
 }
 
 impl EngineMetrics {
@@ -141,7 +158,9 @@ impl EngineMetrics {
             fsyncs: reg.counter("storage_fsyncs_total"),
             rotations: reg.counter("storage_segments_rotated_total"),
             checkpoints: reg.counter("storage_checkpoints_total"),
+            group_commits: reg.counter("storage_group_commits_total"),
             recovery_replay: reg.histogram("storage_recovery_replay_us"),
+            group_commit_batch: reg.histogram("storage_group_commit_batch_size"),
         }
     }
 }
@@ -186,6 +205,7 @@ impl StorageEngine {
         // Seed from the checkpoint, if the manifest names one.
         let mut store = HistoryStore::new();
         let mut stats = IngestStats::default();
+        let mut spent_tokens = std::collections::HashSet::new();
         let mut from_checkpoint = false;
         let replay_from: Vec<u64> = match &manifest {
             Some(m) => {
@@ -197,9 +217,10 @@ impl StorageEngine {
                             m.gen
                         ))
                     })?;
-                    let (s, st) = decode_checkpoint(&name, &data)?;
+                    let (s, st, tokens) = decode_checkpoint(&name, &data)?;
                     store = s;
                     stats = st;
+                    spent_tokens = tokens;
                     from_checkpoint = true;
                 }
                 m.replay_from.clone()
@@ -237,11 +258,11 @@ impl StorageEngine {
                 fresh_seq[shard] = fresh_seq[shard].max(seq + 1);
                 let data = dir.read(name)?;
                 let is_final = i == last;
-                let entries = if data.is_empty() {
+                let (entries, tokens) = if data.is_empty() {
                     // A crash between segment creation and its header
                     // write, or the durable result of repairing one:
                     // holds nothing, wherever it sits in the sequence.
-                    Vec::new()
+                    (Vec::new(), Vec::new())
                 } else if data.len() < orsp_server::WAL_HEADER_LEN {
                     // A crash can cut the 5-byte header itself.
                     if !is_final {
@@ -255,20 +276,20 @@ impl StorageEngine {
                     }
                     torn_tails += 1;
                     repair_segment(dir.as_ref(), name, 0)?;
-                    Vec::new()
+                    (Vec::new(), Vec::new())
                 } else {
                     let replayed = replay(&data).map_err(|e| StorageError::Corrupt {
                         name: name.clone(),
                         detail: e.to_string(),
                     })?;
                     match replayed.fault {
-                        None => replayed.entries,
+                        None => (replayed.entries, replayed.spent_tokens),
                         Some(fault) if fault.is_torn_tail() && is_final => {
                             torn_tails += 1;
                             // The fault offset is where the torn record
                             // starts — exactly the valid prefix length.
                             repair_segment(dir.as_ref(), name, fault.offset())?;
-                            replayed.entries
+                            (replayed.entries, replayed.spent_tokens)
                         }
                         Some(fault) => {
                             return Err(StorageError::SegmentFault {
@@ -278,6 +299,7 @@ impl StorageEngine {
                         }
                     }
                 };
+                spent_tokens.extend(tokens);
                 for entry in entries {
                     store
                         .append(entry.record_id, entry.entity, entry.interaction)
@@ -336,6 +358,7 @@ impl StorageEngine {
             torn_tails,
             replay_us,
             from_checkpoint,
+            spent_tokens,
         };
         Ok((engine, report))
     }
@@ -378,6 +401,82 @@ impl StorageEngine {
         Ok(())
     }
 
+    /// Durably log one spent-token ledger key, routed like a record id.
+    pub fn append_token_spend(&self, key: &[u8; 32]) -> Result<()> {
+        let shard = shard_index(key, self.shards.len());
+        let mut guard = self.shards[shard].lock();
+        let buf = orsp_server::encode_token_spend(key);
+        guard.writer.append_encoded(&buf, 1)?;
+        self.metrics.bytes_appended.add(buf.len() as u64);
+        if self.opts.fsync == FsyncPolicy::Always {
+            guard.writer.sync()?;
+            self.metrics.fsyncs.inc();
+        }
+        if guard.writer.bytes() >= self.opts.max_segment_bytes {
+            self.rotate_shard(&mut guard, shard as u32)?;
+        }
+        Ok(())
+    }
+
+    /// Durably log a whole commit group with one write and one fsync
+    /// per shard run (two only when the run crosses a rotation
+    /// boundary, exactly as the sequential path would double-sync
+    /// there).
+    ///
+    /// Items are bucketed by the engine's own shard routing, preserving
+    /// order within each bucket; a group handed over by the serving
+    /// tier's per-shard leader lands in a single bucket when the shard
+    /// counts are aligned, which is the deployment the daemon sets up.
+    /// Each bucket is encoded into one buffer chunked at the same
+    /// rotation boundaries `append` would have hit, so the resulting
+    /// segment bytes are identical to N sequential appends — the
+    /// equivalence the `group_commit` test suite pins down.
+    pub fn append_upload_batch(&self, items: &[WalBatchItem]) -> Result<()> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        let n = self.shards.len();
+        let mut buckets: Vec<Vec<&WalBatchItem>> = vec![Vec::new(); n];
+        for item in items {
+            buckets[shard_index(item.entry.record_id.as_bytes(), n)].push(item);
+        }
+        for (shard, bucket) in buckets.iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let mut guard = self.shards[shard].lock();
+            let mut i = 0;
+            while i < bucket.len() {
+                // One chunk: records that land before this segment's
+                // rotation point, exactly as sequential appends would
+                // have placed them (append while bytes-so-far < max).
+                let mut buf = Vec::new();
+                let mut framed = 0u64;
+                let mut virt = guard.writer.bytes();
+                while i < bucket.len() && virt < self.opts.max_segment_bytes {
+                    let enc = orsp_server::encode_batch_item(bucket[i]);
+                    virt += enc.len() as u64;
+                    framed += if bucket[i].spend.is_some() { 2 } else { 1 };
+                    buf.extend_from_slice(&enc);
+                    i += 1;
+                }
+                guard.writer.append_encoded(&buf, framed)?;
+                self.metrics.bytes_appended.add(buf.len() as u64);
+                if self.opts.fsync == FsyncPolicy::Always {
+                    guard.writer.sync()?;
+                    self.metrics.fsyncs.inc();
+                }
+                if guard.writer.bytes() >= self.opts.max_segment_bytes {
+                    self.rotate_shard(&mut guard, shard as u32)?;
+                }
+            }
+        }
+        self.metrics.records_appended.add(items.len() as u64);
+        self.metrics.group_commits.inc();
+        self.metrics.group_commit_batch.record(items.len() as u64);
+        Ok(())
+    }
+
     fn rotate_shard(&self, shard: &mut Shard, shard_id: u32) -> Result<()> {
         if self.opts.fsync != FsyncPolicy::Never {
             shard.writer.sync()?;
@@ -399,14 +498,23 @@ impl StorageEngine {
         Ok(())
     }
 
-    /// Write a checkpoint of `store` + `stats` and advance the replay
-    /// frontier past every current segment. Returns the generation.
+    /// Write a checkpoint of `store` + `stats` + the spent-token ledger
+    /// and advance the replay frontier past every current segment.
+    /// Returns the generation.
     ///
-    /// The caller asserts that `store` reflects every append this
-    /// engine has logged — true at drain, which is when the daemon
-    /// checkpoints. Appends are blocked for the duration (all shard
-    /// locks are held), so the frontier cannot race past a log write.
-    pub fn checkpoint(&self, store: &HistoryStore, stats: &IngestStats) -> Result<u64> {
+    /// The caller asserts that `store` and `spent_tokens` reflect every
+    /// append this engine has logged — true at drain, which is when the
+    /// daemon checkpoints. Appends are blocked for the duration (all
+    /// shard locks are held), so the frontier cannot race past a log
+    /// write. Folding the tokens in matters: segments behind the new
+    /// frontier are deleted, so any spend recorded only there would
+    /// otherwise be forgotten — reopening the double-spend window.
+    pub fn checkpoint(
+        &self,
+        store: &HistoryStore,
+        stats: &IngestStats,
+        spent_tokens: &std::collections::HashSet<[u8; 32]>,
+    ) -> Result<u64> {
         let mut meta = self.meta.lock();
         let mut guards: Vec<_> = self.shards.iter().map(|s| s.lock()).collect();
         let gen = meta.next_gen;
@@ -414,7 +522,7 @@ impl StorageEngine {
         // 1. The snapshot, synced before anything points at it.
         let ckpt_name = checkpoint_name(gen);
         let mut file = self.dir.create(&ckpt_name)?;
-        file.append(&encode_checkpoint(store, stats))?;
+        file.append(&encode_checkpoint(store, stats, spent_tokens))?;
         file.sync()?;
 
         // 2. Rotate every shard; the fresh segments are the frontier.
@@ -467,6 +575,14 @@ impl WalSink for StorageEngine {
     fn log_append(&self, entry: &WalEntry) -> orsp_types::Result<()> {
         self.append(entry).map_err(Into::into)
     }
+
+    fn log_token_spend(&self, key: &[u8; 32]) -> orsp_types::Result<()> {
+        self.append_token_spend(key).map_err(Into::into)
+    }
+
+    fn log_upload_batch(&self, items: &[WalBatchItem]) -> orsp_types::Result<()> {
+        self.append_upload_batch(items).map_err(Into::into)
+    }
 }
 
 /// Repair a torn segment by durably truncating it to its valid prefix
@@ -511,7 +627,16 @@ mod tests {
     }
 
     fn opts(shards: u32, seg_bytes: u64, fsync: FsyncPolicy) -> StorageOptions {
-        StorageOptions { shard_count: shards, max_segment_bytes: seg_bytes, fsync }
+        StorageOptions {
+            shard_count: shards,
+            max_segment_bytes: seg_bytes,
+            fsync,
+            ..StorageOptions::default()
+        }
+    }
+
+    fn no_tokens() -> std::collections::HashSet<[u8; 32]> {
+        std::collections::HashSet::new()
     }
 
     fn reference_store(n: u16) -> HistoryStore {
@@ -600,7 +725,7 @@ mod tests {
             store.append(e.record_id, e.entity, e.interaction).unwrap();
             stats.accepted += 1;
         }
-        engine.checkpoint(&store, &stats).unwrap();
+        engine.checkpoint(&store, &stats, &no_tokens()).unwrap();
         // 10 more after the checkpoint: only these replay.
         for i in 30..40 {
             let e = entry(i);
@@ -720,7 +845,7 @@ mod tests {
             store.append(e.record_id, e.entity, e.interaction).unwrap();
             stats.accepted += 1;
         }
-        let gen = engine.checkpoint(&store, &stats).unwrap();
+        let gen = engine.checkpoint(&store, &stats, &no_tokens()).unwrap();
         let rebooted = dir.reopen();
         rebooted.delete(&checkpoint_name(gen)).unwrap();
         let err = open_err(rebooted, opts(1, 1 << 20, FsyncPolicy::Always));
@@ -741,7 +866,7 @@ mod tests {
             store.append(e.record_id, e.entity, e.interaction).unwrap();
             stats.accepted += 1;
         }
-        let gen = engine.checkpoint(&store, &stats).unwrap();
+        let gen = engine.checkpoint(&store, &stats, &no_tokens()).unwrap();
         let rebooted = dir.reopen_with(FaultPlan {
             short_read: Some((checkpoint_name(gen), 40)),
             ..FaultPlan::default()

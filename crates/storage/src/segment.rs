@@ -86,6 +86,16 @@ impl SegmentWriter {
         Ok(buf.len())
     }
 
+    /// Append a pre-encoded run of `records` whole records as a single
+    /// write — the group-commit path. The bytes must be exactly what
+    /// the equivalent sequence of [`Self::append`] calls would have
+    /// produced, so segments stay byte-identical either way.
+    pub fn append_encoded(&mut self, buf: &[u8], records: u64) -> Result<usize> {
+        self.file.append(buf)?;
+        self.records += records;
+        Ok(buf.len())
+    }
+
     /// Flush to durable storage.
     pub fn sync(&mut self) -> Result<()> {
         self.file.sync()

@@ -11,9 +11,10 @@
 //! its own (torn-tail repairs, fresh segments, a fresh manifest) and
 //! must be just as interruption-proof as normal operation.
 
-use orsp_server::{HistoryStore, IngestStats, WalEntry};
+use orsp_server::{HistoryStore, IngestStats, WalBatchItem, WalEntry};
 use orsp_storage::{Dir, FaultPlan, FsDir, FsyncPolicy, SimDir, StorageEngine, StorageOptions};
 use orsp_types::{EntityId, Interaction, InteractionKind, RecordId, SimDuration, Timestamp};
+use std::collections::HashSet;
 use std::sync::Arc;
 
 fn entry(i: u16) -> WalEntry {
@@ -51,7 +52,16 @@ fn stores_equal(a: &HistoryStore, b: &HistoryStore) -> bool {
 }
 
 fn opts(shards: u32, seg_bytes: u64, fsync: FsyncPolicy) -> StorageOptions {
-    StorageOptions { shard_count: shards, max_segment_bytes: seg_bytes, fsync }
+    StorageOptions {
+        shard_count: shards,
+        max_segment_bytes: seg_bytes,
+        fsync,
+        ..StorageOptions::default()
+    }
+}
+
+fn no_tokens() -> HashSet<[u8; 32]> {
+    HashSet::new()
 }
 
 /// Open + append through a fault plan; returns how many appends were
@@ -119,7 +129,7 @@ fn every_byte_cut_through_a_checkpoint_preserves_accepted_records() {
     let before_ckpt = clean.bytes_written();
     let store = reference_store(N as usize);
     let stats = IngestStats { accepted: N as u64, ..IngestStats::default() };
-    engine.checkpoint(&store, &stats).unwrap();
+    engine.checkpoint(&store, &stats, &no_tokens()).unwrap();
     let after_ckpt = clean.bytes_written();
     assert!(after_ckpt > before_ckpt);
 
@@ -131,7 +141,7 @@ fn every_byte_cut_through_a_checkpoint_preserves_accepted_records() {
         }
         // The checkpoint may die anywhere inside its protocol; either
         // way no accepted record may be lost.
-        let _ = engine.checkpoint(&store, &stats);
+        let _ = engine.checkpoint(&store, &stats, &no_tokens());
 
         let rebooted = dir.reopen();
         let (_, report) = StorageEngine::open(Arc::new(rebooted), options())
@@ -301,6 +311,210 @@ fn short_read_of_a_segment_is_a_torn_tail_only_at_the_tail() {
     assert!(stores_equal(&report.store, &reference_store(report.records_replayed as usize)));
 }
 
+/// One commit group: `per_batch` uploads starting at batch index `b`,
+/// each item carrying a distinct spend key, ready for
+/// [`StorageEngine::append_upload_batch`].
+fn group(b: u16, per_batch: u16) -> Vec<WalBatchItem> {
+    (0..per_batch)
+        .map(|j| {
+            let i = b * per_batch + j;
+            let mut key = [0u8; 32];
+            key[0] = (i & 0xFF) as u8;
+            key[1] = (i >> 8) as u8;
+            key[2] = 0x70;
+            WalBatchItem { spend: Some(key), entry: entry(i) }
+        })
+        .collect()
+}
+
+#[test]
+fn mid_group_power_cut_recovers_exactly_the_acked_groups() {
+    // The sharp end of the group-commit durability contract: a power
+    // cut (torn killing write + all unsynced bytes lost) at EVERY byte
+    // the engine writes, while uploads flow through the batched path.
+    // What recovery rebuilds must be exactly the items of the groups
+    // whose fsync returned — never a record or a spend from the group
+    // in flight, never one missing from an acked group.
+    const BATCHES: u16 = 10;
+    const PER_BATCH: u16 = 4;
+    let options = || opts(1, 1 << 20, FsyncPolicy::Always);
+
+    let clean = SimDir::new();
+    {
+        let (engine, _) = StorageEngine::open(Arc::new(clean.clone()), options()).unwrap();
+        for b in 0..BATCHES {
+            engine.append_upload_batch(&group(b, PER_BATCH)).unwrap();
+        }
+    }
+    let total = clean.bytes_written();
+
+    for cut in 0..=total {
+        let dir = SimDir::with_plan(FaultPlan {
+            crash_after_bytes: Some(cut),
+            torn_final_write: true,
+            lose_unsynced_on_crash: true,
+            ..FaultPlan::default()
+        });
+        let mut acked = 0u16;
+        if let Ok((engine, _)) = StorageEngine::open(Arc::new(dir.clone()), options()) {
+            for b in 0..BATCHES {
+                if engine.append_upload_batch(&group(b, PER_BATCH)).is_err() {
+                    break;
+                }
+                acked += 1;
+            }
+        }
+
+        let rebooted = dir.reopen();
+        let (_, report) = StorageEngine::open(Arc::new(rebooted), options())
+            .unwrap_or_else(|e| panic!("cut at byte {cut}: recovery failed: {e}"));
+        let expect_records = acked as usize * PER_BATCH as usize;
+        assert_eq!(
+            report.records_replayed as usize, expect_records,
+            "cut at byte {cut}: {acked} groups acked, replay disagrees"
+        );
+        assert!(
+            stores_equal(&report.store, &reference_store(expect_records)),
+            "cut at byte {cut}: recovered store differs from the acked groups"
+        );
+        let expect_tokens: HashSet<[u8; 32]> = (0..acked)
+            .flat_map(|b| group(b, PER_BATCH))
+            .filter_map(|item| item.spend)
+            .collect();
+        assert_eq!(
+            report.spent_tokens, expect_tokens,
+            "cut at byte {cut}: recovered spend ledger differs from the acked groups"
+        );
+    }
+}
+
+#[test]
+fn mid_group_cut_recovers_a_clean_prefix_covering_every_acked_group() {
+    // Same sweep without dropping unsynced bytes (the disk kept what it
+    // had buffered): recovery may then see items past the last acked
+    // group, but only ever a clean prefix of the apply order — a torn
+    // tail inside an unacked batch repairs exactly like a torn single
+    // record, and spends stay aligned with the surviving records.
+    const BATCHES: u16 = 8;
+    const PER_BATCH: u16 = 5;
+    let options = || opts(1, 1 << 20, FsyncPolicy::Always);
+
+    let clean = SimDir::new();
+    {
+        let (engine, _) = StorageEngine::open(Arc::new(clean.clone()), options()).unwrap();
+        for b in 0..BATCHES {
+            engine.append_upload_batch(&group(b, PER_BATCH)).unwrap();
+        }
+    }
+    let total = clean.bytes_written();
+
+    for cut in 0..=total {
+        let dir = SimDir::with_plan(FaultPlan::crash_at(cut));
+        let mut acked = 0u16;
+        if let Ok((engine, _)) = StorageEngine::open(Arc::new(dir.clone()), options()) {
+            for b in 0..BATCHES {
+                if engine.append_upload_batch(&group(b, PER_BATCH)).is_err() {
+                    break;
+                }
+                acked += 1;
+            }
+        }
+
+        let rebooted = dir.reopen();
+        let (_, report) = StorageEngine::open(Arc::new(rebooted), options())
+            .unwrap_or_else(|e| panic!("cut at byte {cut}: recovery failed: {e}"));
+        let replayed = report.records_replayed as usize;
+        assert!(
+            replayed >= acked as usize * PER_BATCH as usize,
+            "cut at byte {cut}: an acked group lost records ({replayed} < {acked}×{PER_BATCH})"
+        );
+        assert!(
+            stores_equal(&report.store, &reference_store(replayed)),
+            "cut at byte {cut}: recovered store is not a clean prefix of apply order"
+        );
+        // Spends ride with their records: the surviving ledger is the
+        // spends of the surviving prefix, give or take the one spend
+        // whose paired record was the torn tail (spend precedes record
+        // in the encoding, so it can land alone).
+        let prefix: HashSet<[u8; 32]> = (0..BATCHES)
+            .flat_map(|b| group(b, PER_BATCH))
+            .take(replayed)
+            .filter_map(|item| item.spend)
+            .collect();
+        let extra = report.spent_tokens.difference(&prefix).count();
+        assert!(
+            prefix.is_subset(&report.spent_tokens) && extra <= 1,
+            "cut at byte {cut}: spend ledger diverges from the surviving prefix"
+        );
+    }
+}
+
+#[test]
+fn crash_then_token_replay_is_still_rejected() {
+    // The spend-ledger durability contract end to end: tokens spent
+    // before a crash must stay spent after recovery. Drive the serving
+    // tier's ShardedIngest through the engine sink, power-cut, recover,
+    // seed the fresh ledger from the report, and re-present a token.
+    use orsp_server::{GroupCommitConfig, IngestOutcome, RejectReason, ShardedIngest, WalSink};
+
+    let upload = |i: u16| orsp_client::UploadRequest {
+        record_id: RecordId::from_bytes({
+            let mut b = [0u8; 32];
+            b[0] = i as u8;
+            b[2] = 0xD5;
+            b
+        }),
+        entity: EntityId::new(i as u64 % 3),
+        interaction: Interaction::solo(
+            InteractionKind::Visit,
+            Timestamp::from_seconds(i as i64 * 600),
+            SimDuration::minutes(12),
+            30.0,
+        ),
+        token: orsp_crypto::Token {
+            message: [i as u8 ^ 0x3C; 32],
+            signature: orsp_crypto::BigUint::from_u64(1),
+        },
+        release_at: Timestamp::EPOCH,
+    };
+
+    let dir = SimDir::with_plan(FaultPlan {
+        lose_unsynced_on_crash: true,
+        ..FaultPlan::default()
+    });
+    let (engine, _) =
+        StorageEngine::open(Arc::new(dir.clone()), opts(2, 1 << 20, FsyncPolicy::Always))
+            .unwrap();
+    let ingest = ShardedIngest::new(2);
+    ingest.set_wal_with(
+        Arc::new(engine) as Arc<dyn WalSink>,
+        GroupCommitConfig { batch_max: 8, window_us: 0 },
+    );
+    for i in 0..6 {
+        // Dummy signatures, verdict supplied: admission and durability
+        // behave exactly as with minted tokens.
+        assert!(matches!(ingest.ingest_verified(&upload(i), true), IngestOutcome::Accepted));
+    }
+    dir.crash_now();
+
+    let (_, report) =
+        StorageEngine::open(Arc::new(dir.reopen()), opts(2, 1 << 20, FsyncPolicy::Always))
+            .unwrap();
+    assert_eq!(report.records_replayed, 6, "fsync=always: every accepted upload survives");
+    assert_eq!(report.spent_tokens.len(), 6, "every spend recovered with its record");
+
+    let recovered = ShardedIngest::new(2);
+    recovered.seed_spent_tokens(report.spent_tokens);
+    // The replayed token double-spends even though the post-crash
+    // process never saw the original presentation.
+    assert!(matches!(
+        recovered.ingest_verified(&upload(3), true),
+        IngestOutcome::Rejected(RejectReason::DoubleSpend)
+    ));
+    // A genuinely fresh token still clears.
+    assert!(matches!(recovered.ingest_verified(&upload(40), true), IngestOutcome::Accepted));
+}
+
 #[test]
 fn fsdir_round_trips_recovery_and_checkpoints_on_real_files() {
     let root = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("crash-matrix-fsdir");
@@ -326,7 +540,7 @@ fn fsdir_round_trips_recovery_and_checkpoints_on_real_files() {
 
     // Checkpoint, then recover again: replay starts past the frontier.
     let stats = IngestStats { accepted: N as u64, ..IngestStats::default() };
-    engine.checkpoint(&report.store, &stats).unwrap();
+    engine.checkpoint(&report.store, &stats, &no_tokens()).unwrap();
     drop(engine);
     let dir = Arc::new(FsDir::open(&root).unwrap());
     let (_, second) = StorageEngine::open(dir, opts(2, 1024, FsyncPolicy::OnRotate)).unwrap();

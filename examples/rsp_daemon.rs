@@ -26,12 +26,17 @@
 //! same hash, so the counts stay aligned and uploads to different shards
 //! proceed fully in parallel. A recovered directory keeps its recorded
 //! shard count.
+//!
+//! `--group-commit N` caps how many concurrent uploads one shard folds
+//! into a single fsync (default 64; 1 disables grouping), and
+//! `--group-commit-window-us N` lets a commit leader linger that long
+//! for stragglers before syncing (default 0 — pure piggybacking).
 
 use orsp_core::{service_for_world_sharded, PipelineConfig};
 use orsp_crypto::TokenWallet;
 use orsp_net::{ClientConfig, NetClient, NetServer, RemoteIssuer, ServerConfig, TcpTransport};
 use orsp_search::SearchQuery;
-use orsp_server::{IngestService, WalSink};
+use orsp_server::{GroupCommitConfig, IngestService, WalSink};
 use orsp_storage::{FsDir, FsyncPolicy, StorageEngine, StorageOptions};
 use orsp_types::rng::rng_for;
 use orsp_types::{
@@ -69,6 +74,28 @@ fn main() {
         .position(|a| a == "--shards")
         .map(|i| args.get(i + 1).expect("--shards takes a count").parse().expect("--shards count"))
         .unwrap_or(StorageOptions::default().shard_count as usize);
+    // Group commit: how many concurrent same-shard uploads one fsync may
+    // cover, and how long a leader waits for stragglers before issuing it.
+    let group_commit: usize = args
+        .iter()
+        .position(|a| a == "--group-commit")
+        .map(|i| {
+            args.get(i + 1)
+                .expect("--group-commit takes a batch size")
+                .parse()
+                .expect("--group-commit batch size")
+        })
+        .unwrap_or(StorageOptions::default().group_commit_batch_max);
+    let group_commit_window_us: u64 = args
+        .iter()
+        .position(|a| a == "--group-commit-window-us")
+        .map(|i| {
+            args.get(i + 1)
+                .expect("--group-commit-window-us takes microseconds")
+                .parse()
+                .expect("--group-commit-window-us microseconds")
+        })
+        .unwrap_or(StorageOptions::default().group_commit_window_us);
 
     // 1. A synthetic city.
     let config = WorldConfig {
@@ -85,29 +112,33 @@ fn main() {
 
     // 2. Open the durable store, if asked for one, and recover it.
     let pipeline_config = PipelineConfig::default();
-    let (engine, recovered_ingest) = match &data_dir {
+    let (engine, recovered_ingest, recovered_tokens) = match &data_dir {
         Some(path) => {
             let dir = Arc::new(FsDir::open(path).expect("open data dir"));
             let options = StorageOptions {
                 fsync,
                 shard_count: shards as u32,
+                group_commit_batch_max: group_commit,
+                group_commit_window_us,
                 ..StorageOptions::default()
             };
             let (engine, report) = StorageEngine::open(dir, options).expect("recovery");
             println!(
                 "storage: {path} recovered — {} records from checkpoint, {} replayed \
-                 from the log, {} torn tail(s) repaired, {}µs",
+                 from the log, {} spent tokens, {} torn tail(s) repaired, {}µs",
                 report.records_from_checkpoint,
                 report.records_replayed,
+                report.spent_tokens.len(),
                 report.torn_tails,
                 report.replay_us,
             );
             (
                 Some(Arc::new(engine)),
                 IngestService::from_parts(report.store, report.stats),
+                report.spent_tokens,
             )
         }
-        None => (None, IngestService::new()),
+        None => (None, IngestService::new(), Default::default()),
     };
 
     // 3. Serve it: the wire-facing service (token mint, ingest, search)
@@ -120,10 +151,29 @@ fn main() {
         &world,
         &pipeline_config,
         recovered_ingest,
-        engine.clone().map(|e| e as Arc<dyn WalSink>),
+        None,
         service_shards,
     ));
-    println!("service: {} ingest shards", service.ingest_shards());
+    // Durability is wired after construction so the daemon's group-commit
+    // tuning reaches the ingest domain, and the recovered spend ledger is
+    // seeded before the first request can try to double-spend against it.
+    // Each run salts its device RNG and record id with the recovered
+    // ledger size: the spend ledger is durable now, so replaying run 1's
+    // deterministic token in run 2 would be (correctly) rejected as a
+    // double spend.
+    let run_nonce = recovered_tokens.len() as u64;
+    if let Some(engine) = &engine {
+        service.seed_spent_tokens(recovered_tokens);
+        service.set_durability_with(
+            Arc::clone(engine) as Arc<dyn WalSink>,
+            GroupCommitConfig { batch_max: group_commit.max(1), window_us: group_commit_window_us },
+        );
+    }
+    println!(
+        "service: {} ingest shards, group commit <= {} records/fsync",
+        service.ingest_shards(),
+        group_commit.max(1)
+    );
     let server = NetServer::bind("127.0.0.1:0", Arc::clone(&service), ServerConfig::default())
         .expect("bind daemon");
     let addr = server.local_addr();
@@ -137,7 +187,7 @@ fn main() {
     //    Blind token: the wallet blinds a random message, the daemon signs
     //    it without seeing it, the wallet unblinds and verifies.
     let device = DeviceId::new(1);
-    let mut rng = rng_for(99, "rsp-daemon-device");
+    let mut rng = rng_for(99 ^ run_nonce, "rsp-daemon-device");
     let transport = TcpTransport::connect(addr, ClientConfig::default()).expect("transport");
     let mut wallet = TokenWallet::new(device, service.mint_public_key());
     let mut issuer = RemoteIssuer::new(&transport);
@@ -150,8 +200,10 @@ fn main() {
     //    the token. The server can verify the token but not link it to
     //    the issuance above — that is the whole point of blind signatures.
     let entity = world.entities[0].id;
+    let mut record_bytes = [42u8; 32];
+    record_bytes[8..16].copy_from_slice(&run_nonce.to_le_bytes());
     let upload = orsp_client::UploadRequest {
-        record_id: RecordId::from_bytes([42; 32]),
+        record_id: RecordId::from_bytes(record_bytes),
         entity,
         interaction: Interaction::solo(
             InteractionKind::Visit,
@@ -186,8 +238,11 @@ fn main() {
         );
     }
 
-    //    Aggregate for the entity we uploaded to: one history is below
-    //    the k-anonymity floor, so the daemon publishes nothing.
+    //    Aggregate for the entity we uploaded to: aggregates are served
+    //    from a published snapshot (no store locks on the read path), and
+    //    one history is below the k-anonymity floor anyway, so the daemon
+    //    publishes nothing for this entity.
+    service.publish_aggregates();
     let aggregate = client.fetch_aggregate(entity).expect("aggregate RPC");
     println!(
         "client: aggregate for entity {} -> {} (k-anonymity floor)",
@@ -235,14 +290,17 @@ fn main() {
     if let Some(engine) = engine {
         let service =
             Arc::try_unwrap(service).ok().expect("server drained, sole service handle");
+        let spent_tokens = service.spent_tokens();
         let (_mint, ingest) = service.into_parts();
         let generation = engine
-            .checkpoint(ingest.store(), &ingest.stats())
+            .checkpoint(ingest.store(), &ingest.stats(), &spent_tokens)
             .expect("checkpoint at drain");
         println!(
-            "storage: checkpoint generation {generation} written — {} histories, {} accepted",
+            "storage: checkpoint generation {generation} written — {} histories, \
+             {} accepted, {} spent tokens",
             ingest.store().len(),
             ingest.stats().accepted,
+            spent_tokens.len(),
         );
     }
 }

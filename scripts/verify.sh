@@ -24,9 +24,13 @@ cargo test -q --release -p orsp-net --test service_hammer
 cargo test -q -p orsp-net --test service_hammer
 cargo test -q -p orsp-server lockorder
 
-echo "== storage test suites (engine units, crash matrix, served-crash recovery) =="
+echo "== storage test suites (engine units, crash matrix, group-commit equivalence, served-crash recovery) =="
 cargo test -q --release -p orsp-storage
 cargo test -q --release -p orsp-storage --test crash_matrix
+# The mid-group power-cut sweep also runs in a debug build: overflow and
+# debug_assert checks cover the batch/boundary arithmetic release elides.
+cargo test -q -p orsp-storage --test crash_matrix
+cargo test -q --release -p orsp-storage --test group_commit
 cargo test -q --release -p orsp-core --test storage_recovery
 
 echo "== recorded storage throughput exists (regenerate: cargo run --release -p orsp-bench --bin storage_throughput) =="
@@ -43,6 +47,13 @@ echo "== recorded service-contention result exists with an overlapping upload st
 # (regenerate with: cargo run --release -p orsp-bench --bin service_contention)
 test -f results/BENCH_service_contention.json
 grep -q '"uploads_during_contended_phase": [1-9]' results/BENCH_service_contention.json
+
+echo "== group-commit bench meets the 20x durable-ingest gate =="
+# Re-measures on this machine: concurrent uploaders against fsync=always
+# must reach >= 20x the seed's one-fsync-per-record rate (~93k rec/s)
+# with at least 4 uploaders, one fsync per group.
+cargo run --release -p orsp-bench --bin group_commit
+grep -q '"meets_20x_gate": true' results/BENCH_group_commit.json
 
 # Formatting is advisory: rustfmt may be absent in minimal toolchains.
 if command -v rustfmt >/dev/null 2>&1; then

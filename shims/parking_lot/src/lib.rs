@@ -29,6 +29,17 @@ impl<T: ?Sized> Mutex<T> {
         self.0.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Try to acquire without blocking: `None` if the lock is held
+    /// (parking_lot's `Option` signature; a poisoned holder's state is
+    /// recovered, matching [`Mutex::lock`]).
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Mutable access without locking (requires `&mut self`).
     pub fn get_mut(&mut self) -> &mut T {
         self.0.get_mut().unwrap_or_else(|e| e.into_inner())
@@ -73,6 +84,17 @@ mod tests {
         *m.lock() += 1;
         assert_eq!(*m.lock(), 2);
         assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn try_lock_fails_only_while_held() {
+        let m = Mutex::new(7);
+        {
+            let held = m.lock();
+            assert!(m.try_lock().is_none());
+            drop(held);
+        }
+        assert_eq!(*m.try_lock().expect("uncontended"), 7);
     }
 
     #[test]

@@ -27,7 +27,12 @@ fn small_world() -> World {
 }
 
 fn storage_options() -> StorageOptions {
-    StorageOptions { shard_count: 2, max_segment_bytes: 1 << 16, fsync: FsyncPolicy::Always }
+    StorageOptions {
+        shard_count: 2,
+        max_segment_bytes: 1 << 16,
+        fsync: FsyncPolicy::Always,
+        ..StorageOptions::default()
+    }
 }
 
 /// Forwards to the engine and remembers every entry the engine durably
