@@ -266,7 +266,7 @@ fn run_saturation(world: &World, config: &PipelineConfig) -> (u64, u64) {
     };
     let service = Arc::new(service_for_world(world, config));
     let server =
-        NetServer::bind("127.0.0.1:0", Arc::clone(&service), server_config).expect("bind");
+        NetServer::bind("127.0.0.1:0", service.clone(), server_config).expect("bind");
     let addr = server.local_addr();
 
     // Pin both workers and both queue slots with idle connections.

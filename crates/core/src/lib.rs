@@ -35,9 +35,15 @@ pub use digest::{digest_hex, outcome_digest};
 pub use directory::{category_map, directory_entries, listings};
 pub use pipeline::{PipelineConfig, PipelineOutcome, RspPipeline};
 pub use serve::{
-    complete_served, run_client_side, serve, service_for_world, service_for_world_recovered,
-    service_for_world_sharded, ServedRun,
+    complete_served, complete_served_multi, run_client_side, serve, service_for_world,
+    service_for_world_recovered, service_for_world_sharded, ServedRun,
 };
+
+/// The one shard-routing formula (`orsp_server::shard_index`), re-exported
+/// at the facade so every layer that partitions by record id — the ingest
+/// shards, the storage engine's segment logs, and the proxy's backend
+/// routing — provably calls the same function. See DESIGN §9.
+pub use orsp_server::shard_index;
 
 /// Convenience re-exports of the crates behind the facade.
 pub mod prelude {

@@ -119,7 +119,7 @@ pub fn serve(
     server_config: ServerConfig,
 ) -> std::io::Result<(NetServer, Arc<RspService>)> {
     let service = Arc::new(service_for_world(world, config));
-    let server = NetServer::bind(addr, Arc::clone(&service), server_config)?;
+    let server = NetServer::bind(addr, service.clone(), server_config)?;
     Ok((server, service))
 }
 
@@ -177,6 +177,43 @@ pub fn complete_served(
     run: ServedRun,
     service: RspService,
 ) -> PipelineOutcome {
-    let (mint, ingest) = service.into_parts();
-    pipeline.back_half(world, &run.mapper, run.front, ingest, mint.issued_total())
+    complete_served_multi(pipeline, world, run, vec![service])
+}
+
+/// [`complete_served`] for a cluster: tear down N backend services that
+/// served behind a proxy (`orsp-proxy`) and finish the analytics over
+/// their union.
+///
+/// The proxy routes every record id to exactly one backend with the same
+/// [`shard_index`](orsp_server::shard_index) formula the ingest shards
+/// use, so the per-backend stores partition the one-node store — merging
+/// is plain insertion, and `insert_history` would reject any overlap.
+/// Token mints at the same seed share a keypair but issue independently
+/// (each device is pinned to one backend), so issued totals sum. At the
+/// same seed the outcome digest is bit-identical to a one-node run —
+/// asserted by `tests/proxy_end_to_end.rs`.
+pub fn complete_served_multi(
+    pipeline: &RspPipeline,
+    world: &World,
+    run: ServedRun,
+    services: Vec<RspService>,
+) -> PipelineOutcome {
+    let mut tokens_issued = 0u64;
+    let mut store = orsp_server::HistoryStore::new();
+    let mut stats = orsp_server::IngestStats::default();
+    for service in services {
+        let (mint, ingest) = service.into_parts();
+        tokens_issued += mint.issued_total();
+        let (node_store, node_stats) = ingest.into_parts();
+        for (rid, stored) in node_store.into_histories() {
+            store.insert_history(rid, stored);
+        }
+        stats.accepted += node_stats.accepted;
+        stats.bad_token += node_stats.bad_token;
+        stats.double_spend += node_stats.double_spend;
+        stats.bad_record += node_stats.bad_record;
+        stats.entity_mismatch += node_stats.entity_mismatch;
+    }
+    let ingest = orsp_server::IngestService::from_parts(store, stats);
+    pipeline.back_half(world, &run.mapper, run.front, ingest, tokens_issued)
 }

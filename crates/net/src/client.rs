@@ -1,10 +1,19 @@
-//! Blocking TCP client with retry/backoff.
+//! Blocking TCP client with retry/backoff and connection pooling.
 //!
 //! One [`NetClient`] wraps one connection and reconnects transparently.
 //! Retries cover exactly the transient failures ([`NetError::is_retryable`]):
 //! an explicit `Busy` shed, a missed deadline, or a dropped connection —
 //! each retried on a fresh connection after exponential backoff. Protocol
 //! errors and server-reported errors are never retried.
+//!
+//! Connections are kept alive between calls. A keep-alive peer may close
+//! an idle connection at any time; the client detects that as a clean EOF
+//! (or failed write) on a *reused* stream and resends on a fresh
+//! connection immediately — no retry budget burned, no backoff sleep —
+//! counted in [`RetryStats::stale_reconnects`]. [`NetPool`] widens this
+//! to a fixed set of persistent connections picked round-robin, so
+//! concurrent callers (the proxy's worker threads) don't serialize on a
+//! single link.
 
 use crate::error::NetError;
 use crate::stream::{read_message, write_message};
@@ -17,6 +26,7 @@ use orsp_server::{EntityAggregate, RejectReason};
 use orsp_types::{DeviceId, EntityId, Timestamp};
 use parking_lot::Mutex;
 use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 
 /// Client tunables.
@@ -65,6 +75,9 @@ pub struct RetryStats {
     pub backoff_us: u64,
     /// Calls that failed after exhausting every retry.
     pub exhausted: u64,
+    /// Idle keep-alive connections the peer had closed, detected on the
+    /// next call and replaced transparently (no retry burned, no backoff).
+    pub stale_reconnects: u64,
 }
 
 impl RetryStats {
@@ -73,6 +86,38 @@ impl RetryStats {
     pub fn retries(&self) -> u64 {
         (self.busy + self.timeouts + self.disconnects).saturating_sub(self.exhausted)
     }
+
+    /// Fold another client's counters into this one (pool aggregation).
+    pub fn absorb(&mut self, other: &RetryStats) {
+        self.attempts += other.attempts;
+        self.busy += other.busy;
+        self.timeouts += other.timeouts;
+        self.disconnects += other.disconnects;
+        self.backoff_us += other.backoff_us;
+        self.exhausted += other.exhausted;
+        self.stale_reconnects += other.stale_reconnects;
+    }
+}
+
+/// Per-call accounting returned by [`NetClient::call_traced`]: how hard
+/// this one request had to work. The proxy uses it to attribute retries
+/// to individual backends.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CallTrace {
+    /// Attempts made, including the first. Transparent stale-connection
+    /// replacements are not counted — only attempts that reached a live
+    /// peer (or burned retry budget failing to).
+    pub attempts: u32,
+    /// Stale keep-alive connections replaced along the way.
+    pub stale_reconnects: u32,
+}
+
+impl CallTrace {
+    /// True if the call needed more than its first attempt (excluding
+    /// transparent stale-connection replacement).
+    pub fn retried(&self) -> bool {
+        self.attempts > 1
+    }
 }
 
 /// A blocking connection to an RSP server.
@@ -80,16 +125,34 @@ pub struct NetClient {
     addr: SocketAddr,
     config: ClientConfig,
     stream: Option<TcpStream>,
+    /// True once the current stream has completed at least one call —
+    /// i.e. it sat idle in keep-alive and the peer may have closed it.
+    reused: bool,
     retry_stats: RetryStats,
 }
 
 impl NetClient {
+    /// Build a client without connecting; the first call dials. Lets a
+    /// pool (or the proxy) come up before its backends do.
+    pub fn new(addr: SocketAddr, config: ClientConfig) -> NetClient {
+        NetClient { addr, config, stream: None, reused: false, retry_stats: RetryStats::default() }
+    }
+
     /// Connect to `addr` (eagerly, so configuration errors surface here).
     pub fn connect(addr: SocketAddr, config: ClientConfig) -> Result<NetClient, NetError> {
-        let mut client =
-            NetClient { addr, config, stream: None, retry_stats: RetryStats::default() };
+        let mut client = NetClient::new(addr, config);
         client.ensure_stream()?;
         Ok(client)
+    }
+
+    /// Dial now if not already connected.
+    pub fn ensure_connected(&mut self) -> Result<(), NetError> {
+        self.ensure_stream().map(|_| ())
+    }
+
+    /// The address this client dials.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
     }
 
     /// Total retry attempts this client has made (busy + timeout + drop).
@@ -114,32 +177,65 @@ impl NetClient {
                 .set_write_timeout(Some(self.config.write_timeout))
                 .map_err(NetError::from_io)?;
             self.stream = Some(stream);
+            self.reused = false;
         }
         Ok(self.stream.as_mut().expect("just set"))
     }
 
-    fn call_once(&mut self, frame: &[u8]) -> Result<Response, NetError> {
+    /// One write/read exchange. `Ok(None)` means the peer closed cleanly
+    /// before sending a single response byte — distinguishable from a
+    /// mid-frame drop ([`NetError::Closed`]) so the caller can treat a
+    /// closed-while-idle keep-alive stream differently from a crash.
+    fn call_once(&mut self, frame: &[u8]) -> Result<Option<Response>, NetError> {
         let stream = self.ensure_stream()?;
         write_message(stream, frame)?;
         match read_message(stream)? {
-            Some(payload) => Ok(Response::decode_payload(&payload)?),
-            None => Err(NetError::Closed),
+            Some(payload) => {
+                let response = Response::decode_payload(&payload)?;
+                self.reused = true;
+                Ok(Some(response))
+            }
+            None => Ok(None),
         }
     }
 
     /// Send one request; retry with exponential backoff on `Busy`,
     /// timeouts, and dropped connections, reconnecting each time.
     pub fn call(&mut self, request: &Request) -> Result<Response, NetError> {
+        self.call_traced(request).map(|(response, _)| response)
+    }
+
+    /// [`NetClient::call`], plus per-call attempt accounting.
+    pub fn call_traced(&mut self, request: &Request) -> Result<(Response, CallTrace), NetError> {
         let frame = request.encode();
+        let mut trace = CallTrace::default();
         let mut attempt: u32 = 0;
         loop {
+            let reused = self.reused && self.stream.is_some();
             self.retry_stats.attempts += 1;
+            trace.attempts += 1;
             let failure = match self.call_once(&frame) {
-                Ok(Response::Busy) => NetError::Busy,
-                Ok(response) => return Ok(response),
+                Ok(Some(Response::Busy)) => NetError::Busy,
+                Ok(Some(response)) => return Ok((response, trace)),
+                // Clean EOF before any response byte: the peer never
+                // started answering this request.
+                Ok(None) => NetError::Closed,
                 Err(e) if e.is_retryable() => e,
                 Err(e) => return Err(e),
             };
+            // A drop on a *reused* keep-alive stream almost always means
+            // the peer closed it while it sat idle — the request was
+            // never processed. Replace the connection and resend right
+            // away: no retry burned, no backoff. The fresh stream clears
+            // `reused`, so a genuinely failing peer still falls through
+            // to the bounded retry path on the next iteration.
+            if reused && failure == NetError::Closed {
+                self.stream = None;
+                self.retry_stats.stale_reconnects += 1;
+                trace.attempts -= 1;
+                trace.stale_reconnects += 1;
+                continue;
+            }
             match failure {
                 NetError::Busy => self.retry_stats.busy += 1,
                 NetError::Timeout => self.retry_stats.timeouts += 1,
@@ -262,5 +358,204 @@ impl TcpTransport {
 impl Transport for TcpTransport {
     fn call(&self, request: &Request) -> Result<Response, NetError> {
         self.client.lock().call(request)
+    }
+}
+
+/// A fixed set of persistent keep-alive connections to one server,
+/// handed out round-robin. Each slot serializes its own exchanges behind
+/// a mutex, so up to `size` calls proceed concurrently; a caller landing
+/// on a busy slot waits for that slot rather than hunting for a free one
+/// (round-robin keeps the load even, and exchanges are short).
+///
+/// Connections dial lazily on first use and are replaced transparently
+/// when the peer closes them while idle (see [`RetryStats::stale_reconnects`]).
+pub struct NetPool {
+    slots: Vec<Mutex<NetClient>>,
+    next: AtomicUsize,
+}
+
+impl NetPool {
+    /// Build a pool of `size` lazily-dialed connections (minimum 1).
+    pub fn new(addr: SocketAddr, config: ClientConfig, size: usize) -> NetPool {
+        let slots =
+            (0..size.max(1)).map(|_| Mutex::new(NetClient::new(addr, config))).collect();
+        NetPool { slots, next: AtomicUsize::new(0) }
+    }
+
+    /// Build a pool and dial every slot now, so a dead server surfaces
+    /// at construction instead of on the first call.
+    pub fn connect(
+        addr: SocketAddr,
+        config: ClientConfig,
+        size: usize,
+    ) -> Result<NetPool, NetError> {
+        let pool = NetPool::new(addr, config, size);
+        for slot in &pool.slots {
+            slot.lock().ensure_connected()?;
+        }
+        Ok(pool)
+    }
+
+    /// Number of connections in the pool.
+    pub fn size(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The address every slot dials.
+    pub fn addr(&self) -> SocketAddr {
+        self.slots[0].lock().addr()
+    }
+
+    fn slot(&self) -> &Mutex<NetClient> {
+        let i = self.next.fetch_add(1, Ordering::Relaxed) % self.slots.len();
+        &self.slots[i]
+    }
+
+    /// Send one request on the next slot (with the slot's full
+    /// retry/backoff behavior).
+    pub fn call(&self, request: &Request) -> Result<Response, NetError> {
+        self.slot().lock().call(request)
+    }
+
+    /// [`NetPool::call`], plus per-call attempt accounting.
+    pub fn call_traced(&self, request: &Request) -> Result<(Response, CallTrace), NetError> {
+        self.slot().lock().call_traced(request)
+    }
+
+    /// Retry/backoff accounting summed across every slot.
+    pub fn retry_stats(&self) -> RetryStats {
+        let mut total = RetryStats::default();
+        for slot in &self.slots {
+            total.absorb(&slot.lock().retry_stats());
+        }
+        total
+    }
+}
+
+impl Transport for NetPool {
+    fn call(&self, request: &Request) -> Result<Response, NetError> {
+        NetPool::call(self, request)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn answer_ping(stream: &mut TcpStream) {
+        let payload = read_message(stream).expect("read").expect("frame");
+        assert!(matches!(Request::decode_payload(&payload).expect("decode"), Request::Ping));
+        write_message(stream, &Response::Pong.encode()).expect("write");
+    }
+
+    #[test]
+    fn stale_keepalive_connection_is_replaced_without_burning_retries() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let (closed_tx, closed_rx) = std::sync::mpsc::channel();
+        let server = std::thread::spawn(move || {
+            // Connection 1: answer one ping, then close while it idles.
+            let (mut s1, _) = listener.accept().expect("accept 1");
+            answer_ping(&mut s1);
+            drop(s1);
+            closed_tx.send(()).expect("signal");
+            // Connection 2: the transparent replacement.
+            let (mut s2, _) = listener.accept().expect("accept 2");
+            answer_ping(&mut s2);
+        });
+
+        let mut client = NetClient::connect(addr, ClientConfig::default()).expect("connect");
+        client.ping().expect("first ping");
+        closed_rx.recv().expect("server closed conn 1");
+        let (response, trace) = client.call_traced(&Request::Ping).expect("second ping");
+        assert!(matches!(response, Response::Pong));
+        assert_eq!(trace.stale_reconnects, 1, "stale stream replaced once");
+        assert!(!trace.retried(), "replacement is not a retry");
+
+        let stats = client.retry_stats();
+        assert_eq!(stats.stale_reconnects, 1);
+        assert_eq!(stats.disconnects, 0, "idle close must not count as a disconnect");
+        assert_eq!(stats.retries(), 0, "no retry budget burned");
+        assert_eq!(stats.backoff_us, 0, "no backoff slept");
+        server.join().expect("server");
+    }
+
+    #[test]
+    fn fresh_connection_eof_still_burns_the_retry_budget() {
+        // A peer that closes every brand-new connection without answering
+        // must exhaust retries, not loop forever in stale replacement.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let mut accepted = 0u32;
+            while let Ok((s, _)) = listener.accept() {
+                drop(s);
+                accepted += 1;
+                if accepted >= 8 {
+                    break;
+                }
+            }
+        });
+        let config = ClientConfig {
+            max_retries: 2,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(2),
+            ..ClientConfig::default()
+        };
+        let mut client = NetClient::new(addr, config);
+        let err = client.call(&Request::Ping).expect_err("must exhaust");
+        assert_eq!(err, NetError::Closed);
+        let stats = client.retry_stats();
+        assert_eq!(stats.attempts, 3, "first try + two retries");
+        assert_eq!(stats.stale_reconnects, 0);
+        assert_eq!(stats.exhausted, 1);
+        drop(client);
+        // Unblock the listener loop if it is still waiting.
+        let _ = TcpStream::connect(addr);
+        let _ = TcpStream::connect(addr);
+        let _ = TcpStream::connect(addr);
+        let _ = TcpStream::connect(addr);
+        let _ = TcpStream::connect(addr);
+        server.join().expect("server");
+    }
+
+    #[test]
+    fn pool_round_robins_calls_across_persistent_slots() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let mut workers = Vec::new();
+            for _ in 0..2 {
+                let (mut s, _) = listener.accept().expect("accept");
+                workers.push(std::thread::spawn(move || {
+                    let mut served = 0u32;
+                    while let Ok(Some(payload)) = read_message(&mut s) {
+                        assert!(matches!(
+                            Request::decode_payload(&payload).expect("decode"),
+                            Request::Ping
+                        ));
+                        if write_message(&mut s, &Response::Pong.encode()).is_err() {
+                            break;
+                        }
+                        served += 1;
+                    }
+                    served
+                }));
+            }
+            workers.into_iter().map(|w| w.join().expect("worker")).collect::<Vec<_>>()
+        });
+
+        let pool = NetPool::connect(addr, ClientConfig::default(), 2).expect("pool");
+        assert_eq!(pool.size(), 2);
+        for _ in 0..6 {
+            assert!(matches!(pool.call(&Request::Ping).expect("call"), Response::Pong));
+        }
+        let stats = pool.retry_stats();
+        assert_eq!(stats.attempts, 6);
+        assert_eq!(stats.retries(), 0);
+        drop(pool);
+        let served = server.join().expect("server");
+        assert_eq!(served, vec![3, 3], "round-robin spreads calls evenly");
     }
 }

@@ -82,9 +82,14 @@ impl NetError {
         use std::io::ErrorKind;
         match err.kind() {
             ErrorKind::WouldBlock | ErrorKind::TimedOut => NetError::Timeout,
-            ErrorKind::UnexpectedEof | ErrorKind::ConnectionReset | ErrorKind::BrokenPipe => {
-                NetError::Closed
-            }
+            // `ConnectionAborted` included: writing into a keep-alive
+            // connection the server closed while it sat idle surfaces as
+            // an abort on some platforms — it is a dropped connection, not
+            // a hard I/O failure, and must stay retryable.
+            ErrorKind::UnexpectedEof
+            | ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::BrokenPipe => NetError::Closed,
             kind => NetError::Io(kind, err.to_string()),
         }
     }

@@ -33,9 +33,9 @@ pub mod stream;
 pub mod transport;
 pub mod wire;
 
-pub use client::{ClientConfig, NetClient, RetryStats, TcpTransport};
+pub use client::{CallTrace, ClientConfig, NetClient, NetPool, RetryStats, TcpTransport};
 pub use error::{NetError, WireError};
 pub use router::{RspService, ServiceConfig};
-pub use server::{NetServer, ServerConfig, ServerStats};
+pub use server::{FrameService, NetServer, ServerConfig, ServerStats};
 pub use transport::{InMemoryTransport, RemoteIssuer, Transport};
 pub use wire::{Request, Response, SearchHit};

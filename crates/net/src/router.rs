@@ -41,7 +41,8 @@ use orsp_obs::{Counter, Histogram, Registry};
 use orsp_search::{InferredSummary, Ranker, ReviewSummary, SearchIndex};
 use orsp_server::{
     lockorder::{self, rank},
-    AggregatePublisher, EntityAggregate, GroupCommitConfig, IngestOutcome, IngestService,
+    AggregateParts, AggregatePublisher, EntityAggregate, GroupCommitConfig, IngestOutcome,
+    IngestService,
     IngestStats, RejectReason, ShardedIngest, WalSink, MIN_AGGREGATE_SUPPORT,
 };
 use orsp_types::{EntityId, StarHistogram};
@@ -83,10 +84,12 @@ struct ReadState {
     inferred: HashMap<EntityId, StarHistogram>,
     /// Entity aggregates as of the last [`RspService::publish_aggregates`]
     /// call, floor-unfiltered (the k-anonymity floor is applied at read
-    /// time, so retuning the floor needs no republish). Empty until the
-    /// first publish — aggregates are a published product, like
-    /// inferences, not a live view of the store.
-    aggregates: HashMap<EntityId, EntityAggregate>,
+    /// time, so retuning the floor needs no republish) and kept in the
+    /// mergeable [`AggregateParts`] form so the cluster-internal
+    /// `AggregateParts` RPC can export exact partials for a front-door
+    /// proxy to merge. Empty until the first publish — aggregates are a
+    /// published product, like inferences, not a live view of the store.
+    aggregates: HashMap<EntityId, AggregateParts>,
 }
 
 /// Pre-resolved metric handles for the request hot path: one registry
@@ -98,6 +101,7 @@ struct RouterMetrics {
     rpc_fetch_aggregate_us: Histogram,
     rpc_search_us: Histogram,
     rpc_stats_us: Histogram,
+    rpc_aggregate_parts_us: Histogram,
     mint_issued_total: Counter,
     mint_denied_total: Counter,
     ingest_accepted_total: Counter,
@@ -117,6 +121,7 @@ impl RouterMetrics {
             rpc_fetch_aggregate_us: obs.histogram("rpc_fetch_aggregate_us"),
             rpc_search_us: obs.histogram("rpc_search_us"),
             rpc_stats_us: obs.histogram("rpc_stats_us"),
+            rpc_aggregate_parts_us: obs.histogram("rpc_aggregate_parts_us"),
             mint_issued_total: obs.counter("mint_issued_total"),
             mint_denied_total: obs.counter("mint_denied_total"),
             ingest_accepted_total: obs.counter("ingest_accepted_total"),
@@ -277,12 +282,12 @@ impl RspService {
     /// brief cell lock for the swap; in-flight reads finish against the
     /// old snapshot.
     pub fn publish_aggregates(&self) {
-        let aggregates: HashMap<EntityId, EntityAggregate> = self
+        let aggregates: HashMap<EntityId, AggregateParts> = self
             .ingest
             .histories_by_entity()
             .into_iter()
             .map(|(entity, histories)| {
-                (entity, AggregatePublisher::from_histories(entity, histories))
+                (entity, AggregatePublisher::parts_from_histories(entity, histories))
             })
             .collect();
         let mut cell = self.read.lock();
@@ -306,6 +311,7 @@ impl RspService {
             Request::FetchAggregate { .. } => &self.metrics.rpc_fetch_aggregate_us,
             Request::Search { .. } => &self.metrics.rpc_search_us,
             Request::Stats => &self.metrics.rpc_stats_us,
+            Request::AggregateParts { .. } => &self.metrics.rpc_aggregate_parts_us,
         };
         let span = self.obs.span_into(hist);
         let response = self.dispatch(request);
@@ -421,6 +427,17 @@ impl RspService {
                 }
             }
             Request::Stats => Response::Stats { snapshot: self.obs.snapshot() },
+            Request::AggregateParts { entity } => {
+                // Cluster-internal scatter-gather leg: deliberately
+                // floor-unfiltered — the proxy applies the k-anonymity
+                // floor to the *merged* support, the only place the true
+                // total is known. Deployments restrict this RPC to the
+                // proxy tier.
+                let snapshot = self.read_snapshot();
+                Response::AggregateParts {
+                    parts: snapshot.aggregates.get(&entity).cloned(),
+                }
+            }
         }
     }
 
@@ -446,8 +463,8 @@ impl RspService {
         snapshot
             .aggregates
             .get(&entity)
-            .filter(|agg| agg.histories >= self.config.min_aggregate_support)
-            .cloned()
+            .filter(|parts| parts.histories as usize >= self.config.min_aggregate_support)
+            .map(AggregateParts::finalize)
     }
 
     /// The mint's public (verifying) key — distributed to devices out of

@@ -117,6 +117,29 @@ impl ServerMetrics {
     }
 }
 
+/// Anything that can sit behind a [`NetServer`]: one decoded request in,
+/// one response out. The server also records its accept/shed/protocol
+/// counters into the service's registry so one `Stats` RPC covers the
+/// whole process. Implemented by [`RspService`] (a backend daemon) and by
+/// `orsp-proxy`'s front-door router — both ends of the cluster speak the
+/// same frames through the same server loop.
+pub trait FrameService: Send + Sync {
+    /// Handle one decoded request.
+    fn handle(&self, request: Request) -> Response;
+    /// The registry the fronting server should record into.
+    fn obs(&self) -> &Arc<Registry>;
+}
+
+impl FrameService for RspService {
+    fn handle(&self, request: Request) -> Response {
+        RspService::handle(self, request)
+    }
+
+    fn obs(&self) -> &Arc<Registry> {
+        RspService::obs(self)
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 enum ProtoErrorKind {
     Truncated,
@@ -141,7 +164,7 @@ impl From<&WireError> for ProtoErrorKind {
 }
 
 struct Shared {
-    service: Arc<RspService>,
+    service: Arc<dyn FrameService>,
     config: ServerConfig,
     shutdown: AtomicBool,
     obs: Arc<Registry>,
@@ -162,7 +185,7 @@ impl NetServer {
     /// ephemeral port; read it back with [`Self::local_addr`]).
     pub fn bind<A: ToSocketAddrs>(
         addr: A,
-        service: Arc<RspService>,
+        service: Arc<dyn FrameService>,
         config: ServerConfig,
     ) -> io::Result<NetServer> {
         let listener = TcpListener::bind(addr)?;

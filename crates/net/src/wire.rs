@@ -24,7 +24,7 @@ use orsp_client::UploadRequest;
 use orsp_crypto::{BigUint, BlindSignature, BlindedMessage, Token};
 use orsp_obs::{HistogramSnapshot, StatsSnapshot};
 use orsp_search::SearchQuery;
-use orsp_server::{crc32, EntityAggregate, RejectReason};
+use orsp_server::{crc32, AggregateParts, EntityAggregate, RejectReason};
 use orsp_types::{
     Category, DeviceId, EntityId, Interaction, InteractionKind, RecordId, SimDuration,
     StarHistogram, Timestamp,
@@ -142,6 +142,16 @@ pub enum Request {
     /// Fetch the server's live metric snapshot (counters, gauges, and
     /// latency percentiles from the service registry).
     Stats,
+    /// Cluster-internal: fetch the *floor-unfiltered* mergeable partial
+    /// aggregate for one entity. A front-door proxy scatter-gathers this
+    /// across backends and applies the k-anonymity floor to the merged
+    /// whole — applying it per-backend would suppress entities whose
+    /// support only clears the floor in total. Deployments firewall this
+    /// RPC to the proxy tier; it still exposes no individual record.
+    AggregateParts {
+        /// The entity.
+        entity: EntityId,
+    },
 }
 
 /// A server-to-client response.
@@ -191,6 +201,13 @@ pub enum Response {
         /// What went wrong.
         detail: String,
     },
+    /// Cluster-internal: the entity's floor-unfiltered partial aggregate
+    /// from this backend's published snapshot, or `None` if the entity
+    /// has no published histories here.
+    AggregateParts {
+        /// The mergeable accumulators.
+        parts: Option<AggregateParts>,
+    },
 }
 
 /// One search result on the wire: the ranked entity with both opinion
@@ -218,6 +235,7 @@ const T_UPLOAD: u8 = 0x03;
 const T_AGGREGATE: u8 = 0x04;
 const T_SEARCH: u8 = 0x05;
 const T_STATS: u8 = 0x06;
+const T_AGG_PARTS: u8 = 0x07;
 // Response tags (high bit set).
 const T_PONG: u8 = 0x81;
 const T_ISSUED: u8 = 0x82;
@@ -229,6 +247,7 @@ const T_RESULTS: u8 = 0x87;
 const T_BUSY: u8 = 0x88;
 const T_ERROR: u8 = 0x89;
 const T_STATS_RESP: u8 = 0x8A;
+const T_AGG_PARTS_RESP: u8 = 0x8B;
 
 impl Request {
     /// Encode into a complete frame.
@@ -271,6 +290,10 @@ impl Request {
                 buf.put_u16_le(query.category.stable_index() as u16);
             }
             Request::Stats => buf.put_u8(T_STATS),
+            Request::AggregateParts { entity } => {
+                buf.put_u8(T_AGG_PARTS);
+                buf.put_u64_le(entity.raw());
+            }
         }
         buf.freeze().to_vec()
     }
@@ -294,6 +317,7 @@ impl Request {
                 query: SearchQuery { zipcode: r.u32()?, category: r.category()? },
             },
             T_STATS => Request::Stats,
+            T_AGG_PARTS => Request::AggregateParts { entity: EntityId::new(r.u64()?) },
             tag => return Err(WireError::UnknownTag(tag)),
         };
         r.finish()?;
@@ -365,6 +389,16 @@ impl Response {
                 buf.put_u8(T_ERROR);
                 put_string(&mut buf, detail);
             }
+            Response::AggregateParts { parts } => {
+                buf.put_u8(T_AGG_PARTS_RESP);
+                match parts {
+                    None => buf.put_u8(0),
+                    Some(parts) => {
+                        buf.put_u8(1);
+                        put_parts(&mut buf, parts);
+                    }
+                }
+            }
         }
         buf.freeze().to_vec()
     }
@@ -404,6 +438,14 @@ impl Response {
             T_STATS_RESP => Response::Stats { snapshot: r.snapshot()? },
             T_BUSY => Response::Busy,
             T_ERROR => Response::Error { detail: r.string()? },
+            T_AGG_PARTS_RESP => {
+                let parts = match r.u8()? {
+                    0 => None,
+                    1 => Some(r.parts()?),
+                    _ => return Err(WireError::Malformed("bad option flag")),
+                };
+                Response::AggregateParts { parts }
+            }
             tag => return Err(WireError::UnknownTag(tag)),
         };
         r.finish()?;
@@ -464,6 +506,24 @@ fn put_aggregate(buf: &mut BytesMut, agg: &EntityAggregate) {
     buf.put_u32_le(agg.effort_points.len() as u32);
     for &(count, dist) in &agg.effort_points {
         buf.put_u64_le(count as u64);
+        buf.put_f64_le(dist);
+    }
+}
+
+fn put_parts(buf: &mut BytesMut, parts: &AggregateParts) {
+    buf.put_u64_le(parts.entity.raw());
+    buf.put_u64_le(parts.histories);
+    buf.put_u64_le(parts.interactions);
+    buf.put_u64_le(parts.repeats);
+    buf.put_i64_le(parts.dwell_secs);
+    buf.put_u64_le(parts.dwell_n);
+    buf.put_u16_le(parts.visits_per_user.len() as u16);
+    for &v in &parts.visits_per_user {
+        buf.put_u64_le(v);
+    }
+    buf.put_u32_le(parts.effort_points.len() as u32);
+    for &(count, dist) in &parts.effort_points {
+        buf.put_u64_le(count);
         buf.put_f64_le(dist);
     }
 }
@@ -695,6 +755,43 @@ impl<'a> Reader<'a> {
         Ok(StatsSnapshot { counters, gauges, histograms })
     }
 
+    fn parts(&mut self) -> Result<AggregateParts, WireError> {
+        let entity = EntityId::new(self.u64()?);
+        let histories = self.u64()?;
+        let interactions = self.u64()?;
+        let repeats = self.u64()?;
+        let dwell_secs = self.i64()?;
+        let dwell_n = self.u64()?;
+        let visits_len = self.u16()? as usize;
+        if visits_len * 8 > self.remaining() {
+            return Err(WireError::Malformed("visits length exceeds payload"));
+        }
+        let mut visits_per_user = Vec::with_capacity(visits_len);
+        for _ in 0..visits_len {
+            visits_per_user.push(self.u64()?);
+        }
+        let points_len = self.u32()? as usize;
+        if points_len.saturating_mul(16) > self.remaining() {
+            return Err(WireError::Malformed("effort length exceeds payload"));
+        }
+        let mut effort_points = Vec::with_capacity(points_len);
+        for _ in 0..points_len {
+            let count = self.u64()?;
+            let dist = self.f64()?;
+            effort_points.push((count, dist));
+        }
+        Ok(AggregateParts {
+            entity,
+            histories,
+            interactions,
+            visits_per_user,
+            repeats,
+            dwell_secs,
+            dwell_n,
+            effort_points,
+        })
+    }
+
     fn aggregate(&mut self) -> Result<EntityAggregate, WireError> {
         let entity = EntityId::new(self.u64()?);
         let histories = self.u64()? as usize;
@@ -813,6 +910,44 @@ mod tests {
         ] {
             assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn aggregate_parts_round_trip() {
+        let req = Request::AggregateParts { entity: EntityId::new(9) };
+        assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        let none = Response::AggregateParts { parts: None };
+        assert_eq!(Response::decode(&none.encode()).unwrap(), none);
+        let some = Response::AggregateParts {
+            parts: Some(AggregateParts {
+                entity: EntityId::new(9),
+                histories: 3,
+                interactions: 7,
+                visits_per_user: vec![0, 1, 2],
+                repeats: 2,
+                dwell_secs: -5,
+                dwell_n: 4,
+                effort_points: vec![(2, 10.5), (1, 0.0)],
+            }),
+        };
+        assert_eq!(Response::decode(&some.encode()).unwrap(), some);
+    }
+
+    #[test]
+    fn hostile_parts_lengths_do_not_allocate() {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u8(T_AGG_PARTS_RESP);
+        buf.put_u8(1);
+        for _ in 0..5 {
+            buf.put_u64_le(0); // entity..dwell_secs
+        }
+        buf.put_u64_le(0); // dwell_n
+        buf.put_u16_le(u16::MAX); // visits: hostile
+        let framed = frame(&buf.freeze().to_vec());
+        assert_eq!(
+            Response::decode(&framed),
+            Err(WireError::Malformed("visits length exceeds payload"))
+        );
     }
 
     #[test]

@@ -523,7 +523,7 @@ fn tcp_hammer_sheds_nothing_below_saturation() {
         write_timeout: Duration::from_secs(5),
     };
     let server =
-        NetServer::bind("127.0.0.1:0", Arc::clone(&service), config).expect("bind");
+        NetServer::bind("127.0.0.1:0", service.clone(), config).expect("bind");
     let addr = server.local_addr();
     let client_config = ClientConfig {
         connect_timeout: Duration::from_secs(5),

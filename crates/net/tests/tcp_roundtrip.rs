@@ -70,7 +70,7 @@ fn fast_client() -> ClientConfig {
 #[test]
 fn full_rpc_round_trip_over_tcp() {
     let service = test_service();
-    let server = NetServer::bind("127.0.0.1:0", Arc::clone(&service), ServerConfig::default())
+    let server = NetServer::bind("127.0.0.1:0", service.clone(), ServerConfig::default())
         .expect("bind");
     let addr = server.local_addr();
 
@@ -212,7 +212,7 @@ fn malformed_bytes_get_a_typed_error_response() {
 fn corrupted_crc_is_rejected_not_executed() {
     let service = test_service();
     let server =
-        NetServer::bind("127.0.0.1:0", Arc::clone(&service), ServerConfig::default())
+        NetServer::bind("127.0.0.1:0", service.clone(), ServerConfig::default())
             .expect("bind");
     let addr = server.local_addr();
 
@@ -276,7 +276,7 @@ fn shutdown_drains_and_joins() {
 #[test]
 fn stats_rpc_reports_live_counters() {
     let service = test_service();
-    let server = NetServer::bind("127.0.0.1:0", Arc::clone(&service), ServerConfig::default())
+    let server = NetServer::bind("127.0.0.1:0", service.clone(), ServerConfig::default())
         .expect("bind");
     let addr = server.local_addr();
 

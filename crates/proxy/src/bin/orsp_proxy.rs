@@ -1,0 +1,78 @@
+//! The ORSP front door as a binary.
+//!
+//! ```sh
+//! orsp-proxy --listen 127.0.0.1:7400 \
+//!     --backend 127.0.0.1:7401 --backend 127.0.0.1:7402 --backend 127.0.0.1:7403
+//! ```
+//!
+//! Speaks the ORSP wire protocol on both sides: clients connect to
+//! `--listen` exactly as they would to a single daemon; each `--backend`
+//! is a running RSP node (see `examples/rsp_daemon.rs --listen`). Writes
+//! route to the owning backend by `shard_index(record_id)`; reads
+//! scatter-gather with merges bit-identical to a single node.
+//!
+//! `--pool N` sets the persistent keep-alive connections per backend
+//! (default 4). The proxy serves until stdin reaches EOF (pipe from
+//! `sleep` or close the terminal with ctrl-d), then drains gracefully
+//! and prints its final metric snapshot.
+
+use orsp_net::{ClientConfig, NetPool, NetServer, ServerConfig};
+use orsp_proxy::{BackendLink, ProxyConfig, ProxyService};
+use std::io::Read;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let listen = args
+        .iter()
+        .position(|a| a == "--listen")
+        .map(|i| args.get(i + 1).expect("--listen takes an address").clone())
+        .unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let backends: Vec<SocketAddr> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.as_str() == "--backend")
+        .map(|(i, _)| {
+            args.get(i + 1)
+                .expect("--backend takes an address")
+                .parse()
+                .expect("--backend address")
+        })
+        .collect();
+    if backends.is_empty() {
+        eprintln!(
+            "usage: orsp-proxy [--listen ADDR] --backend ADDR [--backend ADDR ...] [--pool N]"
+        );
+        std::process::exit(2);
+    }
+    let pool: usize = args
+        .iter()
+        .position(|a| a == "--pool")
+        .map(|i| args.get(i + 1).expect("--pool takes a count").parse().expect("--pool count"))
+        .unwrap_or(4);
+
+    let links: Vec<Arc<dyn BackendLink>> = backends
+        .iter()
+        .map(|&addr| {
+            Arc::new(NetPool::new(addr, ClientConfig::default(), pool)) as Arc<dyn BackendLink>
+        })
+        .collect();
+    for (i, addr) in backends.iter().enumerate() {
+        println!("proxy: backend {i} -> {addr} ({pool} pooled connections)");
+    }
+    let service = Arc::new(ProxyService::new(links, ProxyConfig::default()));
+    let server = NetServer::bind(listen.as_str(), service.clone(), ServerConfig::default())
+        .expect("bind proxy");
+    println!("proxy: listening on {} over {} backends", server.local_addr(), backends.len());
+
+    // Serve until stdin closes, then drain.
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+    let stats = server.shutdown();
+    println!(
+        "proxy: drained — {} connections, {} requests, {} shed",
+        stats.accepted, stats.requests, stats.shed
+    );
+    println!("proxy: final snapshot\n{}", service.obs().snapshot().render_json());
+}

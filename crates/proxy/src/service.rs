@@ -1,0 +1,669 @@
+//! The proxy request core: route writes, scatter-gather reads.
+//!
+//! [`ProxyService`] implements the same [`FrameService`] contract as the
+//! backend [`RspService`](orsp_net::RspService), so [`orsp_net::NetServer`]
+//! serves it unchanged — the proxy speaks the ORSP wire protocol on both
+//! sides and holds no opinion data of its own (stateless; restart at
+//! will, run several for availability).
+//!
+//! * **Writes** go to exactly one backend. `Upload` routes by
+//!   `shard_index(record_id)` — the same formula the ingest shards and
+//!   the storage engine use, so a record's entire history lives on one
+//!   backend. `IssueToken` routes by device id, keeping each device's
+//!   token rate window on one mint. (Tokens are blind: unlinkable to any
+//!   record, so the two routings never need to agree.)
+//! * **Reads** fan out to every backend and merge via [`crate::merge`];
+//!   `FetchAggregate` and `Search` answers are bit-identical to a single
+//!   node holding the union of the data (asserted end to end by
+//!   `tests/proxy_end_to_end.rs`).
+//! * **Failure** is typed: a transient backend fault surfaces as
+//!   [`ProxyError::Unavailable`] internally and an explicit wire `Busy`
+//!   (the protocol's retryable signal) externally, never a hang or a
+//!   silently partial answer. Only `Stats` degrades partially — see
+//!   [`crate::merge::namespaced_stats`].
+
+use crate::merge::{self, MergeError};
+use orsp_net::{CallTrace, FrameService, NetError, NetPool, Request, Response};
+use orsp_obs::{Counter, Histogram, Registry};
+use orsp_server::shard_index;
+use orsp_types::{DeviceId, EntityId, RecordId};
+use std::fmt;
+use std::sync::Arc;
+
+/// Proxy tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct ProxyConfig {
+    /// K-anonymity floor applied to *merged* aggregates — must match the
+    /// backends' `min_aggregate_support` for bit-identical answers.
+    pub min_aggregate_support: usize,
+}
+
+impl Default for ProxyConfig {
+    fn default() -> Self {
+        ProxyConfig { min_aggregate_support: orsp_server::MIN_AGGREGATE_SUPPORT }
+    }
+}
+
+/// One backend the proxy can call. [`NetPool`] is the production
+/// implementation; tests plug in in-process fakes to exercise failure
+/// paths no honest TCP backend would produce.
+pub trait BackendLink: Send + Sync {
+    /// Send one request, with per-call retry accounting.
+    fn call(&self, request: &Request) -> Result<(Response, CallTrace), NetError>;
+    /// Human-readable identity (address) for logs and errors.
+    fn label(&self) -> String;
+}
+
+impl BackendLink for NetPool {
+    fn call(&self, request: &Request) -> Result<(Response, CallTrace), NetError> {
+        self.call_traced(request)
+    }
+
+    fn label(&self) -> String {
+        self.addr().to_string()
+    }
+}
+
+/// Why the proxy could not answer a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProxyError {
+    /// A backend the answer needs is unreachable, shedding, or timing
+    /// out. Maps to a wire `Busy`: the client's existing retry/backoff
+    /// loop handles it with no new protocol.
+    Unavailable {
+        /// Index of the failing backend.
+        backend: usize,
+        /// The transport-level failure.
+        source: NetError,
+    },
+    /// Backends returned answers that cannot belong to one honest
+    /// cluster. Maps to a wire `Error` — retrying will not help.
+    Inconsistent(MergeError),
+}
+
+impl fmt::Display for ProxyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProxyError::Unavailable { backend, source } => {
+                write!(f, "backend {backend} unavailable: {source}")
+            }
+            ProxyError::Inconsistent(e) => write!(f, "inconsistent cluster state: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProxyError {}
+
+impl From<MergeError> for ProxyError {
+    fn from(e: MergeError) -> Self {
+        ProxyError::Inconsistent(e)
+    }
+}
+
+/// Per-backend outcome counters (DESIGN §7 naming; `<i>` is the backend
+/// index): `proxy_backend<i>_forwarded_total`, `..._retried_total`,
+/// `..._unavailable_total`, `..._shed_total`.
+struct BackendCounters {
+    forwarded: Counter,
+    retried: Counter,
+    unavailable: Counter,
+    shed: Counter,
+}
+
+struct ProxyMetrics {
+    backends: Vec<BackendCounters>,
+    requests: Counter,
+    unavailable: Counter,
+    inconsistent: Counter,
+    fanout_ping_us: Histogram,
+    fanout_fetch_aggregate_us: Histogram,
+    fanout_aggregate_parts_us: Histogram,
+    fanout_search_us: Histogram,
+    fanout_stats_us: Histogram,
+    route_issue_us: Histogram,
+    route_upload_us: Histogram,
+}
+
+impl ProxyMetrics {
+    fn new(obs: &Registry, n: usize) -> ProxyMetrics {
+        ProxyMetrics {
+            backends: (0..n)
+                .map(|i| BackendCounters {
+                    forwarded: obs.counter(&format!("proxy_backend{i}_forwarded_total")),
+                    retried: obs.counter(&format!("proxy_backend{i}_retried_total")),
+                    unavailable: obs.counter(&format!("proxy_backend{i}_unavailable_total")),
+                    shed: obs.counter(&format!("proxy_backend{i}_shed_total")),
+                })
+                .collect(),
+            requests: obs.counter("proxy_requests_total"),
+            unavailable: obs.counter("proxy_unavailable_total"),
+            inconsistent: obs.counter("proxy_inconsistent_total"),
+            fanout_ping_us: obs.histogram("proxy_fanout_ping_us"),
+            fanout_fetch_aggregate_us: obs.histogram("proxy_fanout_fetch_aggregate_us"),
+            fanout_aggregate_parts_us: obs.histogram("proxy_fanout_aggregate_parts_us"),
+            fanout_search_us: obs.histogram("proxy_fanout_search_us"),
+            fanout_stats_us: obs.histogram("proxy_fanout_stats_us"),
+            route_issue_us: obs.histogram("proxy_route_issue_us"),
+            route_upload_us: obs.histogram("proxy_route_upload_us"),
+        }
+    }
+}
+
+/// The stateless front door over N backends.
+pub struct ProxyService {
+    backends: Vec<Arc<dyn BackendLink>>,
+    config: ProxyConfig,
+    obs: Arc<Registry>,
+    metrics: ProxyMetrics,
+}
+
+impl ProxyService {
+    /// Build a proxy over the given backends (at least one).
+    pub fn new(backends: Vec<Arc<dyn BackendLink>>, config: ProxyConfig) -> ProxyService {
+        assert!(!backends.is_empty(), "a proxy needs at least one backend");
+        let obs = Arc::new(Registry::new());
+        let metrics = ProxyMetrics::new(&obs, backends.len());
+        ProxyService { backends, config, obs, metrics }
+    }
+
+    /// Number of backends.
+    pub fn backend_count(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// The proxy's own metric registry.
+    pub fn obs(&self) -> &Arc<Registry> {
+        &self.obs
+    }
+
+    /// Which backend owns a record — the one shard-routing formula
+    /// ([`orsp_server::shard_index`], re-exported as
+    /// `orsp_core::shard_index`) applied to the backend count, exactly as
+    /// each backend applies it to its ingest-shard count.
+    pub fn backend_for_record(&self, record_id: &RecordId) -> usize {
+        shard_index(record_id.as_bytes(), self.backends.len())
+    }
+
+    /// Which backend mints for a device. Devices hash by their id, so
+    /// one backend holds each device's whole token rate window.
+    pub fn backend_for_device(&self, device: DeviceId) -> usize {
+        let mut key = [0u8; 32];
+        key[..8].copy_from_slice(&device.raw().to_le_bytes());
+        shard_index(&key, self.backends.len())
+    }
+
+    /// One routed call, with per-backend outcome accounting.
+    fn call_backend(&self, i: usize, request: &Request) -> Result<Response, ProxyError> {
+        let counters = &self.metrics.backends[i];
+        counters.forwarded.inc();
+        match self.backends[i].call(request) {
+            Ok((Response::Busy, _)) => {
+                // A fake or a proxy-of-proxies can hand back `Busy` as a
+                // value; a `NetPool` retries it internally and surfaces
+                // exhaustion as `Err(NetError::Busy)` below.
+                counters.shed.inc();
+                Err(ProxyError::Unavailable { backend: i, source: NetError::Busy })
+            }
+            Ok((response, trace)) => {
+                if trace.retried() {
+                    counters.retried.add(u64::from(trace.attempts - 1));
+                }
+                Ok(response)
+            }
+            Err(NetError::Busy) => {
+                counters.shed.inc();
+                Err(ProxyError::Unavailable { backend: i, source: NetError::Busy })
+            }
+            Err(source) => {
+                counters.unavailable.inc();
+                Err(ProxyError::Unavailable { backend: i, source })
+            }
+        }
+    }
+
+    /// Fan one request out to every backend concurrently.
+    fn scatter(&self, request: &Request) -> Vec<Result<Response, ProxyError>> {
+        if self.backends.len() == 1 {
+            return vec![self.call_backend(0, request)];
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.backends.len())
+                .map(|i| scope.spawn(move || self.call_backend(i, request)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("backend fan-out thread")).collect()
+        })
+    }
+
+    /// Scatter `AggregateParts` and merge: the floor-unfiltered union of
+    /// every backend's partials for `entity`.
+    fn merged_parts(
+        &self,
+        entity: EntityId,
+    ) -> Result<Option<orsp_server::AggregateParts>, ProxyError> {
+        let span = self.obs.span_into(&self.metrics.fanout_aggregate_parts_us);
+        let gathered = self.scatter(&Request::AggregateParts { entity });
+        span.end();
+        let mut parts = Vec::with_capacity(gathered.len());
+        for result in gathered {
+            match result? {
+                Response::AggregateParts { parts: p } => parts.push(p),
+                other => {
+                    return Err(ProxyError::Unavailable {
+                        backend: 0,
+                        source: NetError::Unexpected(format!("aggregate parts got {other:?}")),
+                    })
+                }
+            }
+        }
+        Ok(merge::merge_parts(entity, parts)?)
+    }
+
+    fn do_ping(&self) -> Result<Response, ProxyError> {
+        let span = self.obs.span_into(&self.metrics.fanout_ping_us);
+        let gathered = self.scatter(&Request::Ping);
+        span.end();
+        for result in gathered {
+            match result? {
+                Response::Pong => {}
+                other => {
+                    return Err(ProxyError::Unavailable {
+                        backend: 0,
+                        source: NetError::Unexpected(format!("ping got {other:?}")),
+                    })
+                }
+            }
+        }
+        Ok(Response::Pong)
+    }
+
+    fn do_fetch_aggregate(&self, entity: EntityId) -> Result<Response, ProxyError> {
+        let span = self.obs.span_into(&self.metrics.fanout_fetch_aggregate_us);
+        let merged = self.merged_parts(entity);
+        span.end();
+        Ok(Response::Aggregate {
+            aggregate: merge::floored_aggregate(merged?, self.config.min_aggregate_support),
+        })
+    }
+
+    fn do_search(&self, query: orsp_search::SearchQuery) -> Result<Response, ProxyError> {
+        let span = self.obs.span_into(&self.metrics.fanout_search_us);
+        let gathered = self.scatter(&Request::Search { query });
+        let mut lists = Vec::with_capacity(gathered.len());
+        for result in gathered {
+            match result? {
+                Response::SearchResults { hits } => lists.push(hits),
+                other => {
+                    return Err(ProxyError::Unavailable {
+                        backend: 0,
+                        source: NetError::Unexpected(format!("search got {other:?}")),
+                    })
+                }
+            }
+        }
+        let mut hits = merge::search_consensus(&lists)?;
+        // Scores, order, and histograms are world-determined and already
+        // agreed on; only the anonymous-history support fields come from
+        // partitioned data. Refill them from the merged partials, floor
+        // applied to the union (a below-floor entity reads as
+        // unsupported, exactly as on one node).
+        for hit in &mut hits {
+            match merge::floored_aggregate(
+                self.merged_parts(hit.entity)?,
+                self.config.min_aggregate_support,
+            ) {
+                Some(agg) => {
+                    hit.histories = agg.histories as u64;
+                    hit.repeat_fraction = agg.repeat_fraction;
+                }
+                None => {
+                    hit.histories = 0;
+                    hit.repeat_fraction = 0.0;
+                }
+            }
+        }
+        span.end();
+        Ok(Response::SearchResults { hits })
+    }
+
+    fn do_stats(&self) -> Response {
+        let span = self.obs.span_into(&self.metrics.fanout_stats_us);
+        let gathered = self.scatter(&Request::Stats);
+        span.end();
+        let backends = gathered
+            .into_iter()
+            .enumerate()
+            .map(|(i, result)| match result {
+                Ok(Response::Stats { snapshot }) => (i, Some(snapshot)),
+                _ => (i, None),
+            })
+            .collect();
+        // Snapshot the local registry *after* the fan-out so the counters
+        // this very request incremented are visible in its answer.
+        Response::Stats { snapshot: merge::namespaced_stats(self.obs.snapshot(), backends) }
+    }
+
+    fn dispatch(&self, request: Request) -> Result<Response, ProxyError> {
+        match request {
+            Request::Ping => self.do_ping(),
+            Request::IssueToken { device, blinded, now } => {
+                let span = self.obs.span_into(&self.metrics.route_issue_us);
+                let backend = self.backend_for_device(device);
+                let response =
+                    self.call_backend(backend, &Request::IssueToken { device, blinded, now });
+                span.end();
+                response
+            }
+            Request::Upload { upload, now } => {
+                let span = self.obs.span_into(&self.metrics.route_upload_us);
+                let backend = self.backend_for_record(&upload.record_id);
+                let response = self.call_backend(backend, &Request::Upload { upload, now });
+                span.end();
+                response
+            }
+            Request::FetchAggregate { entity } => self.do_fetch_aggregate(entity),
+            Request::AggregateParts { entity } => {
+                Ok(Response::AggregateParts { parts: self.merged_parts(entity)? })
+            }
+            Request::Search { query } => self.do_search(query),
+            Request::Stats => Ok(self.do_stats()),
+        }
+    }
+
+    /// Handle one request (the [`FrameService`] entry point).
+    pub fn handle(&self, request: Request) -> Response {
+        self.metrics.requests.inc();
+        match self.dispatch(request) {
+            Ok(response) => response,
+            Err(ProxyError::Unavailable { .. }) => {
+                self.metrics.unavailable.inc();
+                Response::Busy
+            }
+            Err(error @ ProxyError::Inconsistent(_)) => {
+                self.metrics.inconsistent.inc();
+                Response::Error { detail: error.to_string() }
+            }
+        }
+    }
+}
+
+impl FrameService for ProxyService {
+    fn handle(&self, request: Request) -> Response {
+        ProxyService::handle(self, request)
+    }
+
+    fn obs(&self) -> &Arc<Registry> {
+        &self.obs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orsp_server::AggregateParts;
+    use orsp_types::{Rating, StarHistogram};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A scripted backend: counts calls, answers from a closure.
+    struct Fake {
+        calls: AtomicU64,
+        respond: Box<dyn Fn(&Request) -> Result<(Response, CallTrace), NetError> + Send + Sync>,
+    }
+
+    impl Fake {
+        fn new(
+            respond: impl Fn(&Request) -> Result<(Response, CallTrace), NetError>
+                + Send
+                + Sync
+                + 'static,
+        ) -> Arc<Fake> {
+            Arc::new(Fake { calls: AtomicU64::new(0), respond: Box::new(respond) })
+        }
+
+        fn ok(respond: impl Fn(&Request) -> Response + Send + Sync + 'static) -> Arc<Fake> {
+            Fake::new(move |r| Ok((respond(r), CallTrace { attempts: 1, stale_reconnects: 0 })))
+        }
+    }
+
+    impl BackendLink for Fake {
+        fn call(&self, request: &Request) -> Result<(Response, CallTrace), NetError> {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            (self.respond)(request)
+        }
+
+        fn label(&self) -> String {
+            "fake".into()
+        }
+    }
+
+    fn proxy(backends: Vec<Arc<Fake>>) -> (ProxyService, Vec<Arc<Fake>>) {
+        let links: Vec<Arc<dyn BackendLink>> =
+            backends.iter().map(|f| Arc::clone(f) as Arc<dyn BackendLink>).collect();
+        (ProxyService::new(links, ProxyConfig::default()), backends)
+    }
+
+    fn parts(entity: u64, histories: u64) -> AggregateParts {
+        AggregateParts {
+            entity: EntityId::new(entity),
+            histories,
+            interactions: histories,
+            visits_per_user: vec![0, histories],
+            repeats: histories,
+            dwell_secs: histories as i64 * 60,
+            dwell_n: histories,
+            effort_points: vec![],
+        }
+    }
+
+    fn parts_backend(entity: u64, histories: u64) -> Arc<Fake> {
+        Fake::ok(move |r| match r {
+            Request::AggregateParts { .. } => {
+                Response::AggregateParts { parts: Some(parts(entity, histories)) }
+            }
+            Request::Stats => Response::Stats { snapshot: Default::default() },
+            _ => Response::Pong,
+        })
+    }
+
+    fn hit(entity: u64, score: f64, histories: u64) -> orsp_net::SearchHit {
+        let mut explicit = StarHistogram::default();
+        explicit.add(Rating::stars(4));
+        orsp_net::SearchHit {
+            entity: EntityId::new(entity),
+            score,
+            explicit,
+            inferred: StarHistogram::default(),
+            histories,
+            repeat_fraction: 0.0,
+        }
+    }
+
+    #[test]
+    fn upload_and_issue_route_to_exactly_one_backend_by_the_shared_formula() {
+        // Routing is pure — assert the formula without crypto, then that
+        // a routed request reaches only the owner.
+        let (p, fakes) = proxy(vec![
+            Fake::ok(|_| Response::Pong),
+            Fake::ok(|_| Response::Pong),
+            Fake::ok(|_| Response::Pong),
+        ]);
+        for i in 0..64u64 {
+            let mut bytes = [0u8; 32];
+            bytes[..8].copy_from_slice(&i.to_le_bytes());
+            let rid = RecordId::from_bytes(bytes);
+            assert_eq!(p.backend_for_record(&rid), shard_index(&bytes, 3));
+            assert_eq!(p.backend_for_device(DeviceId::new(i)), (i % 3) as usize);
+        }
+        // Ping fans out to all three; routing itself is covered above and
+        // end-to-end (with real tokens) in tests/proxy_end_to_end.rs.
+        assert_eq!(p.handle(Request::Ping), Response::Pong);
+        for f in &fakes {
+            assert_eq!(f.calls.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn fetch_aggregate_floors_after_the_merge_not_per_backend() {
+        // 3 + 2 histories: below the floor of 5 on every backend, at it
+        // in the union. One node holding all 5 would publish; so must we.
+        let (p, _) = proxy(vec![parts_backend(7, 3), parts_backend(7, 2)]);
+        match p.handle(Request::FetchAggregate { entity: EntityId::new(7) }) {
+            Response::Aggregate { aggregate: Some(agg) } => assert_eq!(agg.histories, 5),
+            other => panic!("expected merged aggregate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregate_parts_rpc_returns_the_unfloored_union() {
+        let (p, _) = proxy(vec![parts_backend(7, 2), parts_backend(7, 1)]);
+        match p.handle(Request::AggregateParts { entity: EntityId::new(7) }) {
+            Response::AggregateParts { parts: Some(merged) } => {
+                assert_eq!(merged.histories, 3, "below-floor union still exported");
+            }
+            other => panic!("expected merged parts, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn one_busy_backend_makes_reads_busy_and_counts_the_shed() {
+        let (p, _) = proxy(vec![parts_backend(7, 9), Fake::new(|_| Err(NetError::Busy))]);
+        assert_eq!(
+            p.handle(Request::FetchAggregate { entity: EntityId::new(7) }),
+            Response::Busy,
+            "a partitioned read cannot answer from half the data"
+        );
+        let snap = p.obs().snapshot();
+        assert_eq!(snap.counter("proxy_backend1_shed_total"), Some(1));
+        assert_eq!(snap.counter("proxy_backend1_unavailable_total"), Some(0));
+        assert_eq!(snap.counter("proxy_unavailable_total"), Some(1));
+    }
+
+    #[test]
+    fn unreachable_backend_counts_separately_from_shed() {
+        let (p, _) = proxy(vec![
+            parts_backend(7, 9),
+            Fake::new(|_| Err(NetError::Io(std::io::ErrorKind::ConnectionRefused, "no".into()))),
+        ]);
+        assert_eq!(p.handle(Request::Ping), Response::Busy);
+        let snap = p.obs().snapshot();
+        assert_eq!(snap.counter("proxy_backend1_unavailable_total"), Some(1));
+        assert_eq!(snap.counter("proxy_backend1_shed_total"), Some(0));
+    }
+
+    #[test]
+    fn divergent_search_results_are_a_typed_error_not_a_guess() {
+        let a = Fake::ok(|r| match r {
+            Request::Search { .. } => Response::SearchResults { hits: vec![hit(1, 4.0, 0)] },
+            _ => Response::Pong,
+        });
+        let b = Fake::ok(|r| match r {
+            Request::Search { .. } => Response::SearchResults { hits: vec![hit(1, 3.9, 0)] },
+            _ => Response::Pong,
+        });
+        let (p, _) = proxy(vec![a, b]);
+        let query =
+            orsp_search::SearchQuery { zipcode: 94107, category: orsp_types::Category::Doctor(orsp_types::Specialty::Dentist) };
+        match p.handle(Request::Search { query }) {
+            Response::Error { detail } => assert!(detail.contains("scores"), "{detail}"),
+            other => panic!("expected typed error, got {other:?}"),
+        }
+        assert_eq!(p.obs().snapshot().counter("proxy_inconsistent_total"), Some(1));
+    }
+
+    #[test]
+    fn duplicate_entities_in_a_backend_hit_list_are_rejected() {
+        let dup = Fake::ok(|r| match r {
+            Request::Search { .. } => {
+                Response::SearchResults { hits: vec![hit(1, 4.0, 0), hit(1, 4.0, 0)] }
+            }
+            _ => Response::Pong,
+        });
+        let (p, _) = proxy(vec![dup]);
+        let query =
+            orsp_search::SearchQuery { zipcode: 94107, category: orsp_types::Category::Doctor(orsp_types::Specialty::Dentist) };
+        match p.handle(Request::Search { query }) {
+            Response::Error { detail } => assert!(detail.contains("twice"), "{detail}"),
+            other => panic!("expected typed error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn search_refills_support_fields_from_the_merged_union() {
+        // Both backends agree on the hit (scores are world-determined)
+        // but each holds only part of the anonymous histories — local
+        // floors left their support fields at 0. The proxy must refill
+        // from the merged parts: 3 + 2 = 5 clears the floor.
+        let backend = |n: u64| {
+            Fake::ok(move |r| match r {
+                Request::Search { .. } => Response::SearchResults { hits: vec![hit(7, 4.0, 0)] },
+                Request::AggregateParts { .. } => {
+                    Response::AggregateParts { parts: Some(parts(7, n)) }
+                }
+                _ => Response::Pong,
+            })
+        };
+        let (p, _) = proxy(vec![backend(3), backend(2)]);
+        let query =
+            orsp_search::SearchQuery { zipcode: 94107, category: orsp_types::Category::Doctor(orsp_types::Specialty::Dentist) };
+        match p.handle(Request::Search { query }) {
+            Response::SearchResults { hits } => {
+                assert_eq!(hits.len(), 1);
+                assert_eq!(hits[0].histories, 5, "support refilled from the union");
+                assert_eq!(hits[0].repeat_fraction, 1.0);
+            }
+            other => panic!("expected hits, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_search_results_from_all_backends_stay_empty() {
+        let empty = || {
+            Fake::ok(|r| match r {
+                Request::Search { .. } => Response::SearchResults { hits: vec![] },
+                _ => Response::Pong,
+            })
+        };
+        let (p, _) = proxy(vec![empty(), empty(), empty()]);
+        let query =
+            orsp_search::SearchQuery { zipcode: 94107, category: orsp_types::Category::Doctor(orsp_types::Specialty::Dentist) };
+        assert_eq!(p.handle(Request::Search { query }), Response::SearchResults { hits: vec![] });
+    }
+
+    #[test]
+    fn stats_degrade_partially_and_namespace_backend_snapshots() {
+        let up = Fake::ok(|r| match r {
+            Request::Stats => Response::Stats {
+                snapshot: orsp_obs::StatsSnapshot {
+                    counters: vec![("net_requests_total".into(), 11)],
+                    ..Default::default()
+                },
+            },
+            _ => Response::Pong,
+        });
+        let down = Fake::new(|_| Err(NetError::Timeout));
+        let (p, _) = proxy(vec![up, down]);
+        match p.handle(Request::Stats) {
+            Response::Stats { snapshot } => {
+                assert_eq!(snapshot.counter("backend0_net_requests_total"), Some(11));
+                assert_eq!(snapshot.counter("backend1_unreachable"), Some(1));
+                assert_eq!(
+                    snapshot.counter("proxy_requests_total"),
+                    Some(1),
+                    "proxy's own metrics ride along"
+                );
+            }
+            other => panic!("expected partial stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retried_calls_are_attributed_to_their_backend() {
+        let flaky = Fake::new(|_| {
+            Ok((Response::Pong, CallTrace { attempts: 3, stale_reconnects: 1 }))
+        });
+        let (p, _) = proxy(vec![flaky]);
+        assert_eq!(p.handle(Request::Ping), Response::Pong);
+        let snap = p.obs().snapshot();
+        assert_eq!(snap.counter("proxy_backend0_forwarded_total"), Some(1));
+        assert_eq!(snap.counter("proxy_backend0_retried_total"), Some(2));
+    }
+}

@@ -42,6 +42,121 @@ pub struct EntityAggregate {
 /// Cap for the visits-per-user histogram.
 const HISTOGRAM_CAP: usize = 20;
 
+/// The mergeable form of an [`EntityAggregate`]: every accumulator is
+/// either an exact integer sum or an order-canonicalized list, so partial
+/// aggregates computed over disjoint record subsets (per ingest shard, or
+/// per backend in a multi-node deployment) merge into *bit-identical*
+/// results no matter how the records were partitioned.
+///
+/// The float fields of [`EntityAggregate`] are derived only at
+/// [`AggregateParts::finalize`]: `mean_dwell_min` from an integer
+/// second-sum (addition over `i64` is associative, unlike `f64`), and
+/// `repeat_fraction` from two integer counts. `effort_points` entries are
+/// per-history values — independent of every other history — and the
+/// finalize step sorts them, so concatenation order cannot show through.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggregateParts {
+    /// The entity.
+    pub entity: EntityId,
+    /// Number of anonymous histories.
+    pub histories: u64,
+    /// Total interactions across histories.
+    pub interactions: u64,
+    /// Histogram of interactions-per-history (index = capped count).
+    pub visits_per_user: Vec<u64>,
+    /// Histories with 2+ interactions.
+    pub repeats: u64,
+    /// Exact sum of visit dwell time, in seconds.
+    pub dwell_secs: i64,
+    /// Number of visit interactions behind `dwell_secs`.
+    pub dwell_n: u64,
+    /// (interaction count, mean distance) per history, unsorted until
+    /// finalize.
+    pub effort_points: Vec<(u64, f64)>,
+}
+
+impl AggregateParts {
+    /// Empty parts for one entity.
+    pub fn empty(entity: EntityId) -> Self {
+        AggregateParts {
+            entity,
+            histories: 0,
+            interactions: 0,
+            visits_per_user: vec![0; HISTOGRAM_CAP + 1],
+            repeats: 0,
+            dwell_secs: 0,
+            dwell_n: 0,
+            effort_points: Vec::new(),
+        }
+    }
+
+    /// Fold one stored history into the accumulators.
+    pub fn add(&mut self, stored: &StoredHistory) {
+        let n = stored.history.len();
+        self.histories += 1;
+        self.interactions += n as u64;
+        self.visits_per_user[n.min(HISTOGRAM_CAP)] += 1;
+        if n >= 2 {
+            self.repeats += 1;
+        }
+        let mean_dist = stored.history.mean_distance_m().unwrap_or(0.0);
+        self.effort_points.push((n as u64, mean_dist));
+        for r in stored.history.iter() {
+            if r.kind == InteractionKind::Visit {
+                self.dwell_secs += r.duration.as_seconds();
+                self.dwell_n += 1;
+            }
+        }
+    }
+
+    /// Merge another partial aggregate for the same entity. Integer sums
+    /// and list concatenation only — commutative and associative, so any
+    /// merge tree over any partition of the records finalizes to the same
+    /// bytes.
+    pub fn merge(&mut self, other: &AggregateParts) {
+        debug_assert_eq!(self.entity, other.entity, "merging parts for different entities");
+        self.histories += other.histories;
+        self.interactions += other.interactions;
+        if other.visits_per_user.len() > self.visits_per_user.len() {
+            self.visits_per_user.resize(other.visits_per_user.len(), 0);
+        }
+        for (slot, v) in self.visits_per_user.iter_mut().zip(&other.visits_per_user) {
+            *slot += v;
+        }
+        self.repeats += other.repeats;
+        self.dwell_secs += other.dwell_secs;
+        self.dwell_n += other.dwell_n;
+        self.effort_points.extend(other.effort_points.iter().copied());
+    }
+
+    /// Derive the published aggregate: floats computed once from the
+    /// exact integer accumulators, effort points canonically sorted.
+    pub fn finalize(&self) -> EntityAggregate {
+        let mean_dwell_min = if self.dwell_n == 0 {
+            0.0
+        } else {
+            (self.dwell_secs as f64 / 60.0) / self.dwell_n as f64
+        };
+        let repeat_fraction = if self.histories == 0 {
+            0.0
+        } else {
+            self.repeats as f64 / self.histories as f64
+        };
+        let mut effort_points: Vec<(usize, f64)> =
+            self.effort_points.iter().map(|&(n, d)| (n as usize, d)).collect();
+        effort_points.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        EntityAggregate {
+            entity: self.entity,
+            histories: self.histories as usize,
+            interactions: self.interactions as usize,
+            visits_per_user: self.visits_per_user.iter().map(|&v| v as usize).collect(),
+            effort_points,
+            mean_dwell_min,
+            repeat_fraction,
+        }
+    }
+}
+
 /// Default k-anonymity floor: aggregates for entities with fewer
 /// anonymous histories than this are suppressed. The paper's claim that
 /// histograms reveal "no information about any individual user" is only
@@ -60,7 +175,7 @@ impl AggregatePublisher {
         // associative — mean_dwell_min must not depend on hash seeds.
         let mut histories: Vec<_> = store.histories_for_entity(entity).collect();
         histories.sort_by_key(|(rid, _)| **rid);
-        Self::accumulate(entity, histories.into_iter().map(|(_, s)| s))
+        Self::accumulate(entity, histories.into_iter().map(|(_, s)| s)).finalize()
     }
 
     /// Build the aggregate from histories gathered out of several shard
@@ -69,8 +184,20 @@ impl AggregatePublisher {
     /// computing over the merged store.
     pub fn from_histories(
         entity: EntityId,
-        mut histories: Vec<(RecordId, StoredHistory)>,
+        histories: Vec<(RecordId, StoredHistory)>,
     ) -> EntityAggregate {
+        Self::parts_from_histories(entity, histories).finalize()
+    }
+
+    /// The mergeable partial aggregate over a subset of an entity's
+    /// histories — what a backend exports so a front-door proxy can merge
+    /// per-backend partials into the exact whole-cluster aggregate.
+    /// Accumulation runs in record-id order (the canonical order; the
+    /// accumulators are order-free, so this is belt and braces).
+    pub fn parts_from_histories(
+        entity: EntityId,
+        mut histories: Vec<(RecordId, StoredHistory)>,
+    ) -> AggregateParts {
         histories.sort_by_key(|(rid, _)| *rid);
         Self::accumulate(entity, histories.iter().map(|(_, s)| s))
     }
@@ -78,41 +205,12 @@ impl AggregatePublisher {
     fn accumulate<'a>(
         entity: EntityId,
         sorted: impl Iterator<Item = &'a StoredHistory>,
-    ) -> EntityAggregate {
-        let mut agg = EntityAggregate {
-            entity,
-            histories: 0,
-            interactions: 0,
-            visits_per_user: vec![0; HISTOGRAM_CAP + 1],
-            effort_points: Vec::new(),
-            mean_dwell_min: 0.0,
-            repeat_fraction: 0.0,
-        };
-        let mut dwell_sum = 0.0;
-        let mut dwell_n = 0usize;
-        let mut repeats = 0usize;
+    ) -> AggregateParts {
+        let mut parts = AggregateParts::empty(entity);
         for stored in sorted {
-            let n = stored.history.len();
-            agg.histories += 1;
-            agg.interactions += n;
-            agg.visits_per_user[n.min(HISTOGRAM_CAP)] += 1;
-            if n >= 2 {
-                repeats += 1;
-            }
-            let mean_dist = stored.history.mean_distance_m().unwrap_or(0.0);
-            agg.effort_points.push((n, mean_dist));
-            for r in stored.history.iter() {
-                if r.kind == InteractionKind::Visit {
-                    dwell_sum += r.duration.as_minutes_f64();
-                    dwell_n += 1;
-                }
-            }
+            parts.add(stored);
         }
-        agg.mean_dwell_min = if dwell_n == 0 { 0.0 } else { dwell_sum / dwell_n as f64 };
-        agg.repeat_fraction =
-            if agg.histories == 0 { 0.0 } else { repeats as f64 / agg.histories as f64 };
-        agg.effort_points.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
-        agg
+        parts
     }
 
     /// Build aggregates for every entity present in the store.
@@ -243,6 +341,42 @@ mod tests {
         );
         // The unfiltered internal view still has both (analytics need it).
         assert_eq!(AggregatePublisher::all(&store).len(), 2);
+    }
+
+    #[test]
+    fn merged_parts_finalize_bit_identically_to_the_whole() {
+        // Build one store, then partition its histories arbitrarily and
+        // merge the partial parts: any partition must finalize to the
+        // same bytes as computing over everything at once.
+        let mut store = HistoryStore::new();
+        for i in 0..9u8 {
+            add_history(&mut store, i, 5, 1 + (i as usize % 4), 10.0 * i as f64 + 0.1);
+        }
+        let whole = AggregatePublisher::for_entity(&store, EntityId::new(5));
+        for split in 1..8usize {
+            let mut a = AggregateParts::empty(EntityId::new(5));
+            let mut b = AggregateParts::empty(EntityId::new(5));
+            let mut histories: Vec<_> = store
+                .histories_for_entity(EntityId::new(5))
+                .map(|(rid, s)| (*rid, s.clone()))
+                .collect();
+            // Deliberately scramble the order before partitioning.
+            histories.reverse();
+            for (i, (_, stored)) in histories.iter().enumerate() {
+                if i % 8 < split {
+                    a.add(stored);
+                } else {
+                    b.add(stored);
+                }
+            }
+            a.merge(&b);
+            assert_eq!(a.finalize(), whole, "split {split}");
+            assert_eq!(a.finalize().mean_dwell_min.to_bits(), whole.mean_dwell_min.to_bits());
+            assert_eq!(
+                a.finalize().repeat_fraction.to_bits(),
+                whole.repeat_fraction.to_bits()
+            );
+        }
     }
 
     #[test]

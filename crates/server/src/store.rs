@@ -105,16 +105,20 @@ impl HistoryStore {
         })
     }
 
-    /// Move an already-built history into the store (shard redistribution
-    /// and merge paths; crate-internal).
-    pub(crate) fn insert_history(&mut self, record_id: RecordId, stored: StoredHistory) {
+    /// Move an already-built history into the store. Server-side
+    /// plumbing only (shard redistribution, cluster merges, reshard) —
+    /// clients append interaction by interaction through [`Self::append`],
+    /// which enforces the entity-binding check. Each record id must be
+    /// inserted at most once (the shard/backend partitions guarantee it).
+    pub fn insert_history(&mut self, record_id: RecordId, stored: StoredHistory) {
         self.by_entity.entry(stored.entity).or_default().push(record_id);
         let previous = self.records.insert(record_id, stored);
         debug_assert!(previous.is_none(), "insert_history over an existing record");
     }
 
-    /// Consume the store, yielding every history (crate-internal).
-    pub(crate) fn into_histories(self) -> impl Iterator<Item = (RecordId, StoredHistory)> {
+    /// Consume the store, yielding every history (shard redistribution,
+    /// cluster merges, reshard).
+    pub fn into_histories(self) -> impl Iterator<Item = (RecordId, StoredHistory)> {
         self.records.into_iter()
     }
 

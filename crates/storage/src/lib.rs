@@ -23,6 +23,9 @@
 //! * [`StorageEngine`] — open/recover, append (implements
 //!   `orsp_server::WalSink` so the ingest tier logs through it),
 //!   rotate, checkpoint.
+//! * [`reshard`](crate::reshard) — the offline M→N shard-count rewrite
+//!   behind the `orsp-reshard` binary: read-only source scan,
+//!   re-bucketed append, checkpoint rebuild, digest-verified.
 //!
 //! Zero external dependencies: std plus workspace crates only.
 
@@ -34,6 +37,7 @@ pub mod dir;
 pub mod engine;
 pub mod error;
 pub mod manifest;
+pub mod reshard;
 pub mod segment;
 pub mod sim;
 
@@ -42,6 +46,7 @@ pub use dir::{Dir, FsDir, SegmentFile};
 pub use engine::{FsyncPolicy, RecoveryReport, StorageEngine, StorageOptions};
 pub use error::{Result, StorageError};
 pub use manifest::{load_latest, write_manifest, Manifest};
+pub use reshard::{reshard, state_digest, ReshardReport};
 pub use segment::{
     checkpoint_name, manifest_name, parse_checkpoint_name, parse_manifest_name,
     parse_segment_name, segment_name, SegmentWriter, SEGMENT_HEADER_BYTES,

@@ -31,6 +31,11 @@
 //! into a single fsync (default 64; 1 disables grouping), and
 //! `--group-commit-window-us N` lets a commit leader linger that long
 //! for stragglers before syncing (default 0 — pure piggybacking).
+//!
+//! `--listen ADDR` binds a fixed address instead of an ephemeral
+//! loopback port — the cluster deployment, where N daemons each get a
+//! port and an `orsp-proxy --backend` list fronts them (DESIGN §9,
+//! README "Running a cluster").
 
 use orsp_core::{service_for_world_sharded, PipelineConfig};
 use orsp_crypto::TokenWallet;
@@ -96,6 +101,14 @@ fn main() {
                 .expect("--group-commit-window-us microseconds")
         })
         .unwrap_or(StorageOptions::default().group_commit_window_us);
+    // Where to listen. The default ephemeral loopback port suits the
+    // single-process demo below; a cluster run gives each daemon a fixed
+    // port so an `orsp-proxy --backend` list can name them (DESIGN §9).
+    let listen = args
+        .iter()
+        .position(|a| a == "--listen")
+        .map(|i| args.get(i + 1).expect("--listen takes an address").clone())
+        .unwrap_or_else(|| "127.0.0.1:0".to_string());
 
     // 1. A synthetic city.
     let config = WorldConfig {
@@ -174,7 +187,7 @@ fn main() {
         service.ingest_shards(),
         group_commit.max(1)
     );
-    let server = NetServer::bind("127.0.0.1:0", Arc::clone(&service), ServerConfig::default())
+    let server = NetServer::bind(listen.as_str(), service.clone(), ServerConfig::default())
         .expect("bind daemon");
     let addr = server.local_addr();
     println!("daemon: listening on {addr}");

@@ -33,6 +33,18 @@ cargo test -q -p orsp-storage --test crash_matrix
 cargo test -q --release -p orsp-storage --test group_commit
 cargo test -q --release -p orsp-core --test storage_recovery
 
+echo "== proxy test suites (merge rules, routing/failure semantics, 3-backend digest equality over TCP) =="
+cargo test -q --release -p orsp-proxy
+cargo test -q --release -p orsp-proxy --test proxy_end_to_end
+
+echo "== reshard 2->4 round trip (digest-verified, source untouched) =="
+cargo test -q --release -p orsp-storage --lib reshard
+
+echo "== recorded proxy scaling result exists (>=1.5x routed speedup, or the single-core CPU-bound explanation with per-backend utilization) =="
+# (regenerate with: cargo run --release -p orsp-bench --bin proxy_scaling)
+test -f results/BENCH_proxy_scaling.json
+grep -q '"scaling_gate_ok": true' results/BENCH_proxy_scaling.json
+
 echo "== recorded storage throughput exists (regenerate: cargo run --release -p orsp-bench --bin storage_throughput) =="
 test -f results/BENCH_storage_throughput.json
 grep -q '"cold_replay_meets_100k_rps": true' results/BENCH_storage_throughput.json
