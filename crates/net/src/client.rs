@@ -7,10 +7,13 @@
 //! errors and server-reported errors are never retried.
 //!
 //! Connections are kept alive between calls. A keep-alive peer may close
-//! an idle connection at any time; the client detects that as a clean EOF
-//! (or failed write) on a *reused* stream and resends on a fresh
+//! an idle connection at any time; the client detects that as a close
+//! before any response byte on a *reused* stream and resends on a fresh
 //! connection immediately — no retry budget burned, no backoff sleep —
-//! counted in [`RetryStats::stale_reconnects`]. [`NetPool`] widens this
+//! counted in [`RetryStats::stale_reconnects`]. Only that exact shape is
+//! replaced for free: a mid-frame drop or a failed write means the peer
+//! may already be processing the request, so those take the normal
+//! bounded retry path and count as disconnects. [`NetPool`] widens this
 //! to a fixed set of persistent connections picked round-robin, so
 //! concurrent callers (the proxy's worker threads) don't serialize on a
 //! single link.
@@ -182,10 +185,11 @@ impl NetClient {
         Ok(self.stream.as_mut().expect("just set"))
     }
 
-    /// One write/read exchange. `Ok(None)` means the peer closed cleanly
-    /// before sending a single response byte — distinguishable from a
-    /// mid-frame drop ([`NetError::Closed`]) so the caller can treat a
-    /// closed-while-idle keep-alive stream differently from a crash.
+    /// One write/read exchange. `Ok(None)` means the peer closed before
+    /// sending a single response byte — distinguishable from a mid-frame
+    /// drop or a failed write ([`NetError::Closed`]) so the caller can
+    /// treat a closed-while-idle keep-alive stream differently from a
+    /// peer that died with the request possibly in hand.
     fn call_once(&mut self, frame: &[u8]) -> Result<Option<Response>, NetError> {
         let stream = self.ensure_stream()?;
         write_message(stream, frame)?;
@@ -214,22 +218,29 @@ impl NetClient {
             let reused = self.reused && self.stream.is_some();
             self.retry_stats.attempts += 1;
             trace.attempts += 1;
+            let mut before_any_byte = false;
             let failure = match self.call_once(&frame) {
                 Ok(Some(Response::Busy)) => NetError::Busy,
                 Ok(Some(response)) => return Ok((response, trace)),
-                // Clean EOF before any response byte: the peer never
-                // started answering this request.
-                Ok(None) => NetError::Closed,
+                // Close before any response byte: the peer never started
+                // answering this request.
+                Ok(None) => {
+                    before_any_byte = true;
+                    NetError::Closed
+                }
                 Err(e) if e.is_retryable() => e,
                 Err(e) => return Err(e),
             };
-            // A drop on a *reused* keep-alive stream almost always means
-            // the peer closed it while it sat idle — the request was
-            // never processed. Replace the connection and resend right
-            // away: no retry burned, no backoff. The fresh stream clears
-            // `reused`, so a genuinely failing peer still falls through
-            // to the bounded retry path on the next iteration.
-            if reused && failure == NetError::Closed {
+            // A close before any response byte on a *reused* keep-alive
+            // stream means the peer dropped it while it sat idle — the
+            // request was never answered. Replace the connection and
+            // resend right away: no retry burned, no backoff. Only that
+            // exact shape is free: a mid-frame drop or a failed write
+            // (also `Closed`) means the peer may have started processing,
+            // so it falls through to the bounded retry path and counts as
+            // a disconnect. The fresh stream clears `reused`, so a
+            // genuinely failing peer cannot loop here.
+            if reused && before_any_byte {
                 self.stream = None;
                 self.retry_stats.stale_reconnects += 1;
                 trace.attempts -= 1;
@@ -478,6 +489,47 @@ mod tests {
         assert_eq!(stats.disconnects, 0, "idle close must not count as a disconnect");
         assert_eq!(stats.retries(), 0, "no retry budget burned");
         assert_eq!(stats.backoff_us, 0, "no backoff slept");
+        server.join().expect("server");
+    }
+
+    #[test]
+    fn mid_frame_drop_on_a_reused_stream_is_a_disconnect_not_stale() {
+        // Connection 1 answers one ping, then on the next request sends
+        // half a response header and dies. The peer *started* answering
+        // — it may have processed the request — so the resend must burn
+        // retry budget and count as a disconnect, not ride the free
+        // stale-replacement path.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (mut s1, _) = listener.accept().expect("accept 1");
+            answer_ping(&mut s1);
+            let _ = read_message(&mut s1).expect("read request 2").expect("frame");
+            use std::io::Write;
+            let torn = &Response::Pong.encode()[..5];
+            s1.write_all(torn).expect("torn write");
+            drop(s1);
+            let (mut s2, _) = listener.accept().expect("accept 2");
+            answer_ping(&mut s2);
+        });
+
+        let config = ClientConfig {
+            max_retries: 2,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(2),
+            ..ClientConfig::default()
+        };
+        let mut client = NetClient::connect(addr, config).expect("connect");
+        client.ping().expect("first ping");
+        let (response, trace) = client.call_traced(&Request::Ping).expect("second ping");
+        assert!(matches!(response, Response::Pong));
+        assert_eq!(trace.stale_reconnects, 0, "mid-frame drop is not stale");
+        assert_eq!(trace.attempts, 2, "the resend burned a retry");
+
+        let stats = client.retry_stats();
+        assert_eq!(stats.stale_reconnects, 0);
+        assert_eq!(stats.disconnects, 1, "mid-frame drop is a disconnect");
+        assert_eq!(stats.retries(), 1);
         server.join().expect("server");
     }
 

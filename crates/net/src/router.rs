@@ -102,6 +102,7 @@ struct RouterMetrics {
     rpc_search_us: Histogram,
     rpc_stats_us: Histogram,
     rpc_aggregate_parts_us: Histogram,
+    rpc_aggregate_parts_batch_us: Histogram,
     mint_issued_total: Counter,
     mint_denied_total: Counter,
     ingest_accepted_total: Counter,
@@ -122,6 +123,7 @@ impl RouterMetrics {
             rpc_search_us: obs.histogram("rpc_search_us"),
             rpc_stats_us: obs.histogram("rpc_stats_us"),
             rpc_aggregate_parts_us: obs.histogram("rpc_aggregate_parts_us"),
+            rpc_aggregate_parts_batch_us: obs.histogram("rpc_aggregate_parts_batch_us"),
             mint_issued_total: obs.counter("mint_issued_total"),
             mint_denied_total: obs.counter("mint_denied_total"),
             ingest_accepted_total: obs.counter("ingest_accepted_total"),
@@ -312,6 +314,9 @@ impl RspService {
             Request::Search { .. } => &self.metrics.rpc_search_us,
             Request::Stats => &self.metrics.rpc_stats_us,
             Request::AggregateParts { .. } => &self.metrics.rpc_aggregate_parts_us,
+            Request::AggregatePartsBatch { .. } => {
+                &self.metrics.rpc_aggregate_parts_batch_us
+            }
         };
         let span = self.obs.span_into(hist);
         let response = self.dispatch(request);
@@ -436,6 +441,18 @@ impl RspService {
                 let snapshot = self.read_snapshot();
                 Response::AggregateParts {
                     parts: snapshot.aggregates.get(&entity).cloned(),
+                }
+            }
+            Request::AggregatePartsBatch { entities } => {
+                // One snapshot for the whole batch: every answered
+                // entity comes from the same publish generation, so the
+                // proxy's per-hit merges cannot mix generations.
+                let snapshot = self.read_snapshot();
+                Response::AggregatePartsBatch {
+                    parts: entities
+                        .iter()
+                        .map(|entity| snapshot.aggregates.get(entity).cloned())
+                        .collect(),
                 }
             }
         }

@@ -15,18 +15,24 @@ pub fn write_message<W: Write>(w: &mut W, frame: &[u8]) -> Result<(), NetError> 
     w.flush().map_err(NetError::from_io)
 }
 
-/// Read one message's payload. `Ok(None)` means the peer closed cleanly
-/// *between* frames; EOF mid-frame is a typed error.
+/// Read one message's payload. `Ok(None)` means the peer closed
+/// *between* frames — not one message byte arrived; EOF or a dropped
+/// connection mid-frame is a typed error.
 pub fn read_message<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, NetError> {
     let mut header = [0u8; HEADER_LEN];
-    // First byte separately: a clean close before any header byte is a
-    // normal end of conversation, not an error.
+    // First byte separately: a close before any header byte is a normal
+    // end of conversation, not an error. That covers both the clean FIN
+    // and the reset a keep-alive race produces (peer closes while our
+    // request is in flight; whether the read sees the buffered EOF or
+    // the answering RST first is kernel timing) — in either shape the
+    // peer sent nothing, which is what `Ok(None)` asserts.
     let mut first = [0u8; 1];
     loop {
         match r.read(&mut first) {
             Ok(0) => return Ok(None),
             Ok(_) => break,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) if reset_kind(&e) => return Ok(None),
             Err(e) => return Err(NetError::from_io(e)),
         }
     }
@@ -37,6 +43,15 @@ pub fn read_message<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, NetError> {
     r.read_exact(&mut payload).map_err(NetError::from_io)?;
     check_crc(&payload, crc)?;
     Ok(Some(payload))
+}
+
+/// Errors a dead peer's teardown produces at the *first* byte of a
+/// message boundary.
+fn reset_kind(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionReset | std::io::ErrorKind::ConnectionAborted
+    )
 }
 
 #[cfg(test)]

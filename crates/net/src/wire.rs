@@ -146,11 +146,21 @@ pub enum Request {
     /// aggregate for one entity. A front-door proxy scatter-gathers this
     /// across backends and applies the k-anonymity floor to the merged
     /// whole — applying it per-backend would suppress entities whose
-    /// support only clears the floor in total. Deployments firewall this
-    /// RPC to the proxy tier; it still exposes no individual record.
+    /// support only clears the floor in total. Unfloored partials must
+    /// never reach the public: backends are firewalled to the proxy
+    /// tier, and the proxy itself refuses this RPC unless explicitly
+    /// configured as a cluster-internal tier.
     AggregateParts {
         /// The entity.
         entity: EntityId,
+    },
+    /// Cluster-internal: [`Request::AggregateParts`] for many entities
+    /// in one exchange. The proxy's search support refill asks for every
+    /// hit at once — one fan-out round instead of one per hit. Same
+    /// exposure rules as the single-entity form.
+    AggregatePartsBatch {
+        /// The entities, in the order the answers must come back.
+        entities: Vec<EntityId>,
     },
 }
 
@@ -208,6 +218,13 @@ pub enum Response {
         /// The mergeable accumulators.
         parts: Option<AggregateParts>,
     },
+    /// Cluster-internal: one partial aggregate (or `None`) per entity of
+    /// an [`Request::AggregatePartsBatch`], in request order, all read
+    /// from a single published snapshot.
+    AggregatePartsBatch {
+        /// Per requested entity, in request order.
+        parts: Vec<Option<AggregateParts>>,
+    },
 }
 
 /// One search result on the wire: the ranked entity with both opinion
@@ -236,6 +253,7 @@ const T_AGGREGATE: u8 = 0x04;
 const T_SEARCH: u8 = 0x05;
 const T_STATS: u8 = 0x06;
 const T_AGG_PARTS: u8 = 0x07;
+const T_AGG_PARTS_BATCH: u8 = 0x08;
 // Response tags (high bit set).
 const T_PONG: u8 = 0x81;
 const T_ISSUED: u8 = 0x82;
@@ -248,6 +266,7 @@ const T_BUSY: u8 = 0x88;
 const T_ERROR: u8 = 0x89;
 const T_STATS_RESP: u8 = 0x8A;
 const T_AGG_PARTS_RESP: u8 = 0x8B;
+const T_AGG_PARTS_BATCH_RESP: u8 = 0x8C;
 
 impl Request {
     /// Encode into a complete frame.
@@ -294,6 +313,14 @@ impl Request {
                 buf.put_u8(T_AGG_PARTS);
                 buf.put_u64_le(entity.raw());
             }
+            Request::AggregatePartsBatch { entities } => {
+                buf.put_u8(T_AGG_PARTS_BATCH);
+                debug_assert!(entities.len() <= u16::MAX as usize);
+                buf.put_u16_le(entities.len() as u16);
+                for entity in entities {
+                    buf.put_u64_le(entity.raw());
+                }
+            }
         }
         buf.freeze().to_vec()
     }
@@ -318,6 +345,17 @@ impl Request {
             },
             T_STATS => Request::Stats,
             T_AGG_PARTS => Request::AggregateParts { entity: EntityId::new(r.u64()?) },
+            T_AGG_PARTS_BATCH => {
+                let n = r.u16()? as usize;
+                if n * 8 > r.remaining() {
+                    return Err(WireError::Malformed("entity list exceeds payload"));
+                }
+                let mut entities = Vec::with_capacity(n);
+                for _ in 0..n {
+                    entities.push(EntityId::new(r.u64()?));
+                }
+                Request::AggregatePartsBatch { entities }
+            }
             tag => return Err(WireError::UnknownTag(tag)),
         };
         r.finish()?;
@@ -399,6 +437,20 @@ impl Response {
                     }
                 }
             }
+            Response::AggregatePartsBatch { parts } => {
+                buf.put_u8(T_AGG_PARTS_BATCH_RESP);
+                debug_assert!(parts.len() <= u16::MAX as usize);
+                buf.put_u16_le(parts.len() as u16);
+                for entry in parts {
+                    match entry {
+                        None => buf.put_u8(0),
+                        Some(parts) => {
+                            buf.put_u8(1);
+                            put_parts(&mut buf, parts);
+                        }
+                    }
+                }
+            }
         }
         buf.freeze().to_vec()
     }
@@ -445,6 +497,23 @@ impl Response {
                     _ => return Err(WireError::Malformed("bad option flag")),
                 };
                 Response::AggregateParts { parts }
+            }
+            T_AGG_PARTS_BATCH_RESP => {
+                // Each entry needs at least its one-byte presence flag,
+                // so a hostile count cannot drive a large allocation.
+                let n = r.u16()? as usize;
+                if n > r.remaining() {
+                    return Err(WireError::Malformed("parts list exceeds payload"));
+                }
+                let mut parts = Vec::with_capacity(n);
+                for _ in 0..n {
+                    parts.push(match r.u8()? {
+                        0 => None,
+                        1 => Some(r.parts()?),
+                        _ => return Err(WireError::Malformed("bad option flag")),
+                    });
+                }
+                Response::AggregatePartsBatch { parts }
             }
             tag => return Err(WireError::UnknownTag(tag)),
         };
@@ -931,6 +1000,55 @@ mod tests {
             }),
         };
         assert_eq!(Response::decode(&some.encode()).unwrap(), some);
+    }
+
+    #[test]
+    fn aggregate_parts_batch_round_trip() {
+        let req = Request::AggregatePartsBatch {
+            entities: vec![EntityId::new(3), EntityId::new(9), EntityId::new(3)],
+        };
+        assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        let empty = Request::AggregatePartsBatch { entities: vec![] };
+        assert_eq!(Request::decode(&empty.encode()).unwrap(), empty);
+        let resp = Response::AggregatePartsBatch {
+            parts: vec![
+                None,
+                Some(AggregateParts {
+                    entity: EntityId::new(9),
+                    histories: 3,
+                    interactions: 7,
+                    visits_per_user: vec![0, 1, 2],
+                    repeats: 2,
+                    dwell_secs: -5,
+                    dwell_n: 4,
+                    effort_points: vec![(2, 10.5), (1, 0.0)],
+                }),
+                None,
+            ],
+        };
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn hostile_batch_lengths_do_not_allocate() {
+        // A batch request claiming 65535 entities in an empty payload.
+        let mut buf = BytesMut::with_capacity(8);
+        buf.put_u8(T_AGG_PARTS_BATCH);
+        buf.put_u16_le(u16::MAX);
+        let framed = frame(&buf.freeze().to_vec());
+        assert_eq!(
+            Request::decode(&framed),
+            Err(WireError::Malformed("entity list exceeds payload"))
+        );
+        // A batch response claiming 65535 entries in an empty payload.
+        let mut buf = BytesMut::with_capacity(8);
+        buf.put_u8(T_AGG_PARTS_BATCH_RESP);
+        buf.put_u16_le(u16::MAX);
+        let framed = frame(&buf.freeze().to_vec());
+        assert_eq!(
+            Response::decode(&framed),
+            Err(WireError::Malformed("parts list exceeds payload"))
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@ use orsp_net::wire::{decode_frame, frame, HEADER_LEN, MAX_PAYLOAD};
 use orsp_net::{Request, Response, SearchHit, WireError};
 use orsp_obs::{HistogramSnapshot, StatsSnapshot};
 use orsp_search::SearchQuery;
-use orsp_server::{EntityAggregate, RejectReason};
+use orsp_server::{AggregateParts, EntityAggregate, RejectReason};
 use orsp_types::{
     Category, DeviceId, EntityId, Interaction, InteractionKind, RecordId, SimDuration,
     StarHistogram, Timestamp,
@@ -94,6 +94,11 @@ proptest! {
                 now: Timestamp::from_seconds(now),
             },
             Request::FetchAggregate { entity: EntityId::new(entity) },
+            Request::AggregateParts { entity: EntityId::new(entity) },
+            Request::AggregatePartsBatch { entities: vec![] },
+            Request::AggregatePartsBatch {
+                entities: vec![EntityId::new(entity), EntityId::new(entity ^ 1)],
+            },
             Request::Search {
                 query: SearchQuery { zipcode, category: category_from(cat) },
             },
@@ -149,6 +154,16 @@ proptest! {
             histories,
             repeat_fraction: repeat,
         };
+        let parts = AggregateParts {
+            entity: EntityId::new(entity),
+            histories,
+            interactions,
+            visits_per_user: visits.clone(),
+            repeats: histories / 2,
+            dwell_secs: dwell as i64,
+            dwell_n: interactions,
+            effort_points: efforts.clone(),
+        };
         let responses = [
             Response::Pong,
             Response::TokenIssued { signature: BlindSignature(BigUint::from_bytes_be(&sig)) },
@@ -157,6 +172,10 @@ proptest! {
             Response::UploadRejected { reason: rejects[reject] },
             Response::Aggregate { aggregate: None },
             Response::Aggregate { aggregate: Some(aggregate) },
+            Response::AggregateParts { parts: None },
+            Response::AggregateParts { parts: Some(parts.clone()) },
+            Response::AggregatePartsBatch { parts: vec![] },
+            Response::AggregatePartsBatch { parts: vec![Some(parts), None] },
             Response::SearchResults { hits: vec![] },
             Response::SearchResults { hits: vec![hit.clone(), hit] },
             Response::Busy,

@@ -12,7 +12,11 @@
 //! scatter-gather with merges bit-identical to a single node.
 //!
 //! `--pool N` sets the persistent keep-alive connections per backend
-//! (default 4). The proxy serves until stdin reaches EOF (pipe from
+//! (default 4). `--cluster-internal` serves the floor-unfiltered
+//! `AggregateParts` RPCs to this proxy's clients — only for a proxy that
+//! is itself a backend of another proxy, deployed behind the same
+//! firewall as the leaf backends; a public front door (the default)
+//! refuses them. The proxy serves until stdin reaches EOF (pipe from
 //! `sleep` or close the terminal with ctrl-d), then drains gracefully
 //! and prints its final metric snapshot.
 
@@ -42,10 +46,12 @@ fn main() {
         .collect();
     if backends.is_empty() {
         eprintln!(
-            "usage: orsp-proxy [--listen ADDR] --backend ADDR [--backend ADDR ...] [--pool N]"
+            "usage: orsp-proxy [--listen ADDR] --backend ADDR [--backend ADDR ...] \
+             [--pool N] [--cluster-internal]"
         );
         std::process::exit(2);
     }
+    let cluster_internal = args.iter().any(|a| a == "--cluster-internal");
     let pool: usize = args
         .iter()
         .position(|a| a == "--pool")
@@ -61,7 +67,13 @@ fn main() {
     for (i, addr) in backends.iter().enumerate() {
         println!("proxy: backend {i} -> {addr} ({pool} pooled connections)");
     }
-    let service = Arc::new(ProxyService::new(links, ProxyConfig::default()));
+    if cluster_internal {
+        println!("proxy: cluster-internal tier — serving floor-unfiltered AggregateParts");
+    }
+    let service = Arc::new(ProxyService::new(
+        links,
+        ProxyConfig { cluster_internal, ..ProxyConfig::default() },
+    ));
     let server = NetServer::bind(listen.as_str(), service.clone(), ServerConfig::default())
         .expect("bind proxy");
     println!("proxy: listening on {} over {} backends", server.local_addr(), backends.len());

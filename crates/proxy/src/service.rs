@@ -15,7 +15,12 @@
 //! * **Reads** fan out to every backend and merge via [`crate::merge`];
 //!   `FetchAggregate` and `Search` answers are bit-identical to a single
 //!   node holding the union of the data (asserted end to end by
-//!   `tests/proxy_end_to_end.rs`).
+//!   `tests/proxy_end_to_end.rs`). Search refills its support fields
+//!   with one batched `AggregatePartsBatch` fan-out covering every hit.
+//!   The cluster-internal `AggregateParts` RPCs themselves are refused
+//!   at the front door unless [`ProxyConfig::cluster_internal`] is set —
+//!   their merged answers are floor-unfiltered, and only the firewalled
+//!   proxy tier may see those.
 //! * **Failure** is typed: a transient backend fault surfaces as
 //!   [`ProxyError::Unavailable`] internally and an explicit wire `Busy`
 //!   (the protocol's retryable signal) externally, never a hang or a
@@ -36,11 +41,23 @@ pub struct ProxyConfig {
     /// K-anonymity floor applied to *merged* aggregates — must match the
     /// backends' `min_aggregate_support` for bit-identical answers.
     pub min_aggregate_support: usize,
+    /// Serve the cluster-internal `AggregateParts` RPCs to this proxy's
+    /// own clients. `false` (the default — a public front door) refuses
+    /// them with a wire `Error`, never contacting a backend: the merged
+    /// parts are floor-unfiltered, so answering would let any client
+    /// read the below-floor support counts (down to a single user's
+    /// interaction count and mean distance) that the k-anonymity floor
+    /// exists to suppress. Enable only for a proxy that is itself a
+    /// backend of another proxy, firewalled like the backends are.
+    pub cluster_internal: bool,
 }
 
 impl Default for ProxyConfig {
     fn default() -> Self {
-        ProxyConfig { min_aggregate_support: orsp_server::MIN_AGGREGATE_SUPPORT }
+        ProxyConfig {
+            min_aggregate_support: orsp_server::MIN_AGGREGATE_SUPPORT,
+            cluster_internal: false,
+        }
     }
 }
 
@@ -115,6 +132,7 @@ struct ProxyMetrics {
     requests: Counter,
     unavailable: Counter,
     inconsistent: Counter,
+    internal_refused: Counter,
     fanout_ping_us: Histogram,
     fanout_fetch_aggregate_us: Histogram,
     fanout_aggregate_parts_us: Histogram,
@@ -138,6 +156,7 @@ impl ProxyMetrics {
             requests: obs.counter("proxy_requests_total"),
             unavailable: obs.counter("proxy_unavailable_total"),
             inconsistent: obs.counter("proxy_inconsistent_total"),
+            internal_refused: obs.counter("proxy_internal_refused_total"),
             fanout_ping_us: obs.histogram("proxy_fanout_ping_us"),
             fanout_fetch_aggregate_us: obs.histogram("proxy_fanout_fetch_aggregate_us"),
             fanout_aggregate_parts_us: obs.histogram("proxy_fanout_aggregate_parts_us"),
@@ -258,6 +277,48 @@ impl ProxyService {
         Ok(merge::merge_parts(entity, parts)?)
     }
 
+    /// Scatter one `AggregatePartsBatch` and merge per entity: the
+    /// floor-unfiltered union for each requested entity, in request
+    /// order. One fan-out round no matter how many entities — this is
+    /// the search support refill, where a per-entity scatter would make
+    /// search latency grow linearly with hit count times backend RTT.
+    fn merged_parts_batch(
+        &self,
+        entities: &[EntityId],
+    ) -> Result<Vec<Option<orsp_server::AggregateParts>>, ProxyError> {
+        if entities.is_empty() {
+            return Ok(Vec::new());
+        }
+        let span = self.obs.span_into(&self.metrics.fanout_aggregate_parts_us);
+        let gathered =
+            self.scatter(&Request::AggregatePartsBatch { entities: entities.to_vec() });
+        span.end();
+        let mut lists = Vec::with_capacity(gathered.len());
+        for result in gathered {
+            match result? {
+                Response::AggregatePartsBatch { parts } if parts.len() == entities.len() => {
+                    lists.push(parts)
+                }
+                other => {
+                    return Err(ProxyError::Unavailable {
+                        backend: 0,
+                        source: NetError::Unexpected(format!(
+                            "aggregate parts batch got {other:?}"
+                        )),
+                    })
+                }
+            }
+        }
+        entities
+            .iter()
+            .enumerate()
+            .map(|(i, &entity)| {
+                merge::merge_parts(entity, lists.iter_mut().map(|list| list[i].take()))
+                    .map_err(ProxyError::from)
+            })
+            .collect()
+    }
+
     fn do_ping(&self) -> Result<Response, ProxyError> {
         let span = self.obs.span_into(&self.metrics.fanout_ping_us);
         let gathered = self.scatter(&Request::Ping);
@@ -303,14 +364,14 @@ impl ProxyService {
         let mut hits = merge::search_consensus(&lists)?;
         // Scores, order, and histograms are world-determined and already
         // agreed on; only the anonymous-history support fields come from
-        // partitioned data. Refill them from the merged partials, floor
-        // applied to the union (a below-floor entity reads as
+        // partitioned data. Refill them from the merged partials — one
+        // batched fan-out covering every hit, not one scatter per hit —
+        // floor applied to each union (a below-floor entity reads as
         // unsupported, exactly as on one node).
-        for hit in &mut hits {
-            match merge::floored_aggregate(
-                self.merged_parts(hit.entity)?,
-                self.config.min_aggregate_support,
-            ) {
+        let entities: Vec<EntityId> = hits.iter().map(|hit| hit.entity).collect();
+        let merged = self.merged_parts_batch(&entities)?;
+        for (hit, parts) in hits.iter_mut().zip(merged) {
+            match merge::floored_aggregate(parts, self.config.min_aggregate_support) {
                 Some(agg) => {
                     hit.histories = agg.histories as u64;
                     hit.repeat_fraction = agg.repeat_fraction;
@@ -323,6 +384,23 @@ impl ProxyService {
         }
         span.end();
         Ok(Response::SearchResults { hits })
+    }
+
+    /// Refuse a cluster-internal RPC at the public front door, without
+    /// contacting any backend. The backends sit behind a firewall; the
+    /// proxy is what clients reach, so it must not re-export the
+    /// floor-unfiltered partials the k-anonymity floor exists to
+    /// suppress. A wire `Error` (not `Busy`) tells the caller retrying
+    /// will not help.
+    fn refuse_internal(&self, what: &str) -> Response {
+        self.metrics.internal_refused.inc();
+        Response::Error {
+            detail: format!(
+                "{what} is cluster-internal: this proxy is a public front door \
+                 and does not serve floor-unfiltered partial aggregates \
+                 (enable cluster-internal serving only behind a firewall)"
+            ),
+        }
     }
 
     fn do_stats(&self) -> Response {
@@ -362,7 +440,18 @@ impl ProxyService {
             }
             Request::FetchAggregate { entity } => self.do_fetch_aggregate(entity),
             Request::AggregateParts { entity } => {
+                if !self.config.cluster_internal {
+                    return Ok(self.refuse_internal("AggregateParts"));
+                }
                 Ok(Response::AggregateParts { parts: self.merged_parts(entity)? })
+            }
+            Request::AggregatePartsBatch { entities } => {
+                if !self.config.cluster_internal {
+                    return Ok(self.refuse_internal("AggregatePartsBatch"));
+                }
+                Ok(Response::AggregatePartsBatch {
+                    parts: self.merged_parts_batch(&entities)?,
+                })
             }
             Request::Search { query } => self.do_search(query),
             Request::Stats => Ok(self.do_stats()),
@@ -436,9 +525,21 @@ mod tests {
     }
 
     fn proxy(backends: Vec<Arc<Fake>>) -> (ProxyService, Vec<Arc<Fake>>) {
+        proxy_with(backends, ProxyConfig::default())
+    }
+
+    fn proxy_with(
+        backends: Vec<Arc<Fake>>,
+        config: ProxyConfig,
+    ) -> (ProxyService, Vec<Arc<Fake>>) {
         let links: Vec<Arc<dyn BackendLink>> =
             backends.iter().map(|f| Arc::clone(f) as Arc<dyn BackendLink>).collect();
-        (ProxyService::new(links, ProxyConfig::default()), backends)
+        (ProxyService::new(links, config), backends)
+    }
+
+    /// The cluster-internal tier's config: serves `AggregateParts`.
+    fn internal() -> ProxyConfig {
+        ProxyConfig { cluster_internal: true, ..ProxyConfig::default() }
     }
 
     fn parts(entity: u64, histories: u64) -> AggregateParts {
@@ -459,6 +560,12 @@ mod tests {
             Request::AggregateParts { .. } => {
                 Response::AggregateParts { parts: Some(parts(entity, histories)) }
             }
+            Request::AggregatePartsBatch { entities } => Response::AggregatePartsBatch {
+                parts: entities
+                    .iter()
+                    .map(|e| (e.raw() == entity).then(|| parts(entity, histories)))
+                    .collect(),
+            },
             Request::Stats => Response::Stats { snapshot: Default::default() },
             _ => Response::Pong,
         })
@@ -513,14 +620,50 @@ mod tests {
     }
 
     #[test]
-    fn aggregate_parts_rpc_returns_the_unfloored_union() {
-        let (p, _) = proxy(vec![parts_backend(7, 2), parts_backend(7, 1)]);
+    fn aggregate_parts_rpc_returns_the_unfloored_union_on_an_internal_tier() {
+        // Only a cluster-internal proxy (a backend of another proxy,
+        // firewalled like the leaf backends) serves unfloored parts.
+        let (p, _) = proxy_with(vec![parts_backend(7, 2), parts_backend(7, 1)], internal());
         match p.handle(Request::AggregateParts { entity: EntityId::new(7) }) {
             Response::AggregateParts { parts: Some(merged) } => {
                 assert_eq!(merged.histories, 3, "below-floor union still exported");
             }
             other => panic!("expected merged parts, got {other:?}"),
         }
+        match p.handle(Request::AggregatePartsBatch {
+            entities: vec![EntityId::new(7), EntityId::new(8)],
+        }) {
+            Response::AggregatePartsBatch { parts } => {
+                assert_eq!(parts.len(), 2);
+                assert_eq!(parts[0].as_ref().map(|m| m.histories), Some(3));
+            }
+            other => panic!("expected merged batch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn public_front_door_refuses_cluster_internal_rpcs_without_touching_backends() {
+        // A below-floor entity's support must not be readable through
+        // the public dispatch — the floor FetchAggregate enforces would
+        // be meaningless if AggregateParts handed out the raw union.
+        let (p, fakes) = proxy(vec![parts_backend(7, 2), parts_backend(7, 1)]);
+        for request in [
+            Request::AggregateParts { entity: EntityId::new(7) },
+            Request::AggregatePartsBatch { entities: vec![EntityId::new(7)] },
+        ] {
+            match p.handle(request) {
+                Response::Error { detail } => {
+                    assert!(detail.contains("cluster-internal"), "{detail}")
+                }
+                other => panic!("expected refusal, got {other:?}"),
+            }
+        }
+        for f in &fakes {
+            assert_eq!(f.calls.load(Ordering::Relaxed), 0, "refusal must not fan out");
+        }
+        let snap = p.obs().snapshot();
+        assert_eq!(snap.counter("proxy_internal_refused_total"), Some(2));
+        assert_eq!(snap.counter("proxy_inconsistent_total"), Some(0));
     }
 
     #[test]
@@ -595,9 +738,9 @@ mod tests {
         let backend = |n: u64| {
             Fake::ok(move |r| match r {
                 Request::Search { .. } => Response::SearchResults { hits: vec![hit(7, 4.0, 0)] },
-                Request::AggregateParts { .. } => {
-                    Response::AggregateParts { parts: Some(parts(7, n)) }
-                }
+                Request::AggregatePartsBatch { entities } => Response::AggregatePartsBatch {
+                    parts: entities.iter().map(|_| Some(parts(7, n))).collect(),
+                },
                 _ => Response::Pong,
             })
         };
@@ -611,6 +754,40 @@ mod tests {
                 assert_eq!(hits[0].repeat_fraction, 1.0);
             }
             other => panic!("expected hits, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn search_support_refill_is_one_batched_fanout_not_one_scatter_per_hit() {
+        // Three hits must cost each backend exactly two calls: the
+        // search scatter plus one AggregatePartsBatch — not 1 + 3.
+        let backend = || {
+            Fake::ok(|r| match r {
+                Request::Search { .. } => Response::SearchResults {
+                    hits: vec![hit(1, 4.0, 0), hit(2, 3.0, 0), hit(3, 2.0, 0)],
+                },
+                Request::AggregatePartsBatch { entities } => Response::AggregatePartsBatch {
+                    parts: entities.iter().map(|e| Some(parts(e.raw(), 6))).collect(),
+                },
+                _ => Response::Pong,
+            })
+        };
+        let (p, fakes) = proxy(vec![backend(), backend()]);
+        let query =
+            orsp_search::SearchQuery { zipcode: 94107, category: orsp_types::Category::Doctor(orsp_types::Specialty::Dentist) };
+        match p.handle(Request::Search { query }) {
+            Response::SearchResults { hits } => {
+                assert_eq!(hits.len(), 3);
+                assert!(hits.iter().all(|h| h.histories == 12), "6 + 6 merged per hit");
+            }
+            other => panic!("expected hits, got {other:?}"),
+        }
+        for f in &fakes {
+            assert_eq!(
+                f.calls.load(Ordering::Relaxed),
+                2,
+                "one search + one batched refill per backend"
+            );
         }
     }
 

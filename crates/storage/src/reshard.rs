@@ -25,12 +25,18 @@
 //!    order: deterministic output, and within one record id the
 //!    history's own order is preserved (the one order the store
 //!    accepts).
-//! 3. **Manifest/checkpoint rebuild + verification.** A checkpoint of
-//!    the full state is cut (CRC-guarded, supersedes the replay logs),
-//!    the destination is closed and *reopened through ordinary crash
-//!    recovery*, and the recovered state's [`state_digest`] — store,
-//!    counters, and spent-token set — must equal the source's. A
-//!    mismatch fails the reshard rather than report success.
+//! 3. **Verification, then manifest/checkpoint rebuild.** The
+//!    destination is closed and *reopened through ordinary crash
+//!    recovery before any checkpoint exists*, so the full state must be
+//!    rebuilt from the re-bucketed segment logs alone; its
+//!    [`state_digest`] must equal the source's (the scan's reject
+//!    counters ride along on both sides — rejects are never WAL-logged,
+//!    so the logs cannot carry them). Only then is a checkpoint of the
+//!    log-recovered state cut (CRC-guarded, supersedes the replay
+//!    logs), and a final reopen — the recovery every future open
+//!    repeats — must land on the same digest through the checkpoint
+//!    path too. A mismatch at either step fails the reshard rather than
+//!    report success.
 //!
 //! The destination must be empty: this tool creates directories, it
 //! never merges into one.
@@ -63,9 +69,10 @@ pub struct ReshardReport {
     /// Torn tails tolerated in the source (valid prefix used, file left
     /// untouched).
     pub torn_tails: u64,
-    /// Digest of the source state — and, because a mismatch is an
-    /// error, of the destination state recovered through
-    /// [`crate::StorageEngine::open`] after the rewrite.
+    /// Digest of the source state — and, because a mismatch at either
+    /// verification step is an error, of the destination state as
+    /// recovered through [`crate::StorageEngine::open`] both from the
+    /// re-bucketed segment logs alone and from the final checkpoint.
     pub digest: u32,
 }
 
@@ -213,9 +220,10 @@ fn scan_source(dir: &dyn Dir) -> Result<SourceScan> {
 ///
 /// See the module docs for the three phases. The source is never
 /// written; the destination is verified by reopening it through normal
-/// crash recovery and comparing [`state_digest`]s — on any error the
-/// destination contents are garbage to be deleted and the source is
-/// still authoritative.
+/// crash recovery twice — once from the re-bucketed logs alone, once
+/// from the final checkpoint — comparing [`state_digest`]s each time.
+/// On any error the destination contents are garbage to be deleted and
+/// the source is still authoritative.
 pub fn reshard(
     src: Arc<dyn Dir>,
     dst: Arc<dyn Dir>,
@@ -254,13 +262,37 @@ pub fn reshard(
         engine.append_token_spend(key)?;
     }
 
-    // Cut the checkpoint that makes recovery O(checkpoint) and sweeps
-    // the replay logs, then drop the engine and verify the directory
-    // the way every future open will read it.
-    engine.checkpoint(&scan.store, &scan.stats, &scan.spent_tokens)?;
+    engine.sync_all()?;
     drop(engine);
-    let (reopened, recovered) = crate::StorageEngine::open(Arc::clone(&dst), opts)?;
-    let dst_shards = reopened.shard_count() as u32;
+
+    // Verify the append path *before* any checkpoint exists: reopen the
+    // destination so ordinary crash recovery must rebuild the full
+    // state from the re-bucketed segment logs alone. A checkpoint cut
+    // from the source scan would mask a broken append path — recovery
+    // prefers the checkpoint, and the digest would merely round-trip
+    // the scan instead of validating what phase 2 wrote. Reject
+    // counters never reach the logs (only accepted uploads are
+    // WAL-logged), so the comparison carries the scan's stats on both
+    // sides and pins exactly what the logs hold: the store and the
+    // spent-token ledger.
+    let (engine, replayed) = crate::StorageEngine::open(Arc::clone(&dst), opts.clone())?;
+    let dst_shards = engine.shard_count() as u32;
+    let log_digest = state_digest(&replayed.store, &scan.stats, &replayed.spent_tokens);
+    if log_digest != digest {
+        return Err(StorageError::Unrecoverable(format!(
+            "reshard verification failed: source digest {digest:08x}, but the \
+             destination's re-bucketed segment logs recover to {log_digest:08x}"
+        )));
+    }
+
+    // Now cut the checkpoint that makes recovery O(checkpoint) and
+    // sweeps the replay logs — fed the log-recovered state (plus the
+    // scan's reject counters), not the scan's — then reopen once more:
+    // the final recovery, the one every future open repeats, must land
+    // on the same digest through the checkpoint path too.
+    engine.checkpoint(&replayed.store, &scan.stats, &replayed.spent_tokens)?;
+    drop(engine);
+    let (_, recovered) = crate::StorageEngine::open(Arc::clone(&dst), opts)?;
     let dst_digest =
         state_digest(&recovered.store, &recovered.stats, &recovered.spent_tokens);
     if dst_digest != digest {
@@ -286,7 +318,8 @@ pub fn reshard(
 mod tests {
     use super::*;
     use crate::engine::{FsyncPolicy, StorageEngine, StorageOptions};
-    use crate::sim::SimDir;
+    use crate::segment::segment_name;
+    use crate::sim::{FaultPlan, SimDir};
     use orsp_types::{EntityId, Interaction, InteractionKind, RecordId, SimDuration, Timestamp};
 
     fn entry(i: u16) -> WalEntry {
@@ -418,6 +451,30 @@ mod tests {
         let err = reshard(Arc::new(SimDir::new()), Arc::new(SimDir::new()), opts(4))
             .unwrap_err();
         assert!(matches!(err, StorageError::Unrecoverable(_)), "got {err}");
+    }
+
+    #[test]
+    fn a_bad_destination_segment_fails_the_reshard_instead_of_being_masked() {
+        // The destination's first shard-0 segment reads back short: the
+        // re-bucketed logs are NOT what N-shard ingest would have
+        // written. The pre-checkpoint verification reopen recovers from
+        // those logs and must surface the damage as an error — a
+        // checkpoint cut straight from the source scan would have
+        // superseded (and swept) the broken segment without ever reading
+        // it, reporting success over logs that were never validated.
+        let src = populate(2, 60, None);
+        let dst = SimDir::with_plan(FaultPlan {
+            short_read: Some((segment_name(0, 0), 10)),
+            ..FaultPlan::default()
+        });
+        reshard(Arc::new(src), Arc::new(dst.clone()), opts(4))
+            .expect_err("a destination whose logs read back broken must not verify");
+        // The failure happened before any checkpoint finalized the
+        // destination: the unvalidated segment is still in place.
+        assert!(
+            dst.list().unwrap().contains(&segment_name(0, 0)),
+            "verification must run before the checkpoint sweeps the logs"
+        );
     }
 
     #[test]

@@ -35,7 +35,9 @@
 //! `--listen ADDR` binds a fixed address instead of an ephemeral
 //! loopback port — the cluster deployment, where N daemons each get a
 //! port and an `orsp-proxy --backend` list fronts them (DESIGN §9,
-//! README "Running a cluster").
+//! README "Running a cluster"). A fixed address also switches the
+//! lifecycle from one-shot demo to backend: after the demo client the
+//! daemon keeps serving until stdin reaches EOF, matching the proxy.
 
 use orsp_core::{service_for_world_sharded, PipelineConfig};
 use orsp_crypto::TokenWallet;
@@ -104,11 +106,11 @@ fn main() {
     // Where to listen. The default ephemeral loopback port suits the
     // single-process demo below; a cluster run gives each daemon a fixed
     // port so an `orsp-proxy --backend` list can name them (DESIGN §9).
-    let listen = args
+    let fixed_listen = args
         .iter()
         .position(|a| a == "--listen")
-        .map(|i| args.get(i + 1).expect("--listen takes an address").clone())
-        .unwrap_or_else(|| "127.0.0.1:0".to_string());
+        .map(|i| args.get(i + 1).expect("--listen takes an address").clone());
+    let listen = fixed_listen.clone().unwrap_or_else(|| "127.0.0.1:0".to_string());
 
     // 1. A synthetic city.
     let config = WorldConfig {
@@ -281,7 +283,16 @@ fn main() {
         }
     }
 
-    // 5. Drain and exit, dumping the final registry snapshot.
+    // 5. With a fixed `--listen` address this is a cluster backend, not a
+    //    one-shot demo: keep serving (for `orsp-proxy --backend` peers)
+    //    until stdin reaches EOF, the same lifecycle the proxy uses.
+    if fixed_listen.is_some() {
+        println!("daemon: serving until stdin closes");
+        let mut sink = Vec::new();
+        let _ = std::io::Read::read_to_end(&mut std::io::stdin(), &mut sink);
+    }
+
+    //    Drain and exit, dumping the final registry snapshot.
     let stats = server.shutdown();
     println!(
         "daemon: drained — {} connections, {} requests, {} shed, {} protocol errors \
