@@ -1,0 +1,249 @@
+//! Distributed-tracing overhead — what trace collection costs on the
+//! hot path, as a function of the head-sampling rate.
+//!
+//! Two measurements:
+//!
+//! 1. **Primitive costs**: ns/op for an unsampled root (the rejected
+//!    coin flip plus ambient bookkeeping — the cost every request pays)
+//!    and a fully sampled root+child pair (id allocation, two clock
+//!    reads, ring insert, seal).
+//! 2. **End-to-end A/B**: the same closed-loop RPC mix as
+//!    `obs_overhead`, alternating reps between sampling disabled (0),
+//!    production-rate 1% (100 per 10k), and firehose 100% (10 000 per
+//!    10k) in one process, interleaved so thermal and cache drift hits
+//!    every arm equally.
+//!
+//! The acceptance gate: best-of 1%-sampled throughput within 3% of
+//! best-of disabled — tracing at the production rate must be free to
+//! the naked eye. The 100% arm is reported but ungated; it is the
+//! debugging configuration, not the deployed one. Writes
+//! `results/BENCH_trace_overhead.json`.
+//!
+//! ```sh
+//! cargo run --release -p orsp-bench --bin trace_overhead
+//! cargo run --release -p orsp-bench --bin trace_overhead -- --clients 2 --seconds 2 --reps 3
+//! ```
+
+use orsp_bench::{arg_u64, f, header, seed_from_args};
+use orsp_core::{serve, PipelineConfig};
+use orsp_net::{ClientConfig, NetClient, ServerConfig};
+use orsp_obs::Registry;
+use orsp_search::SearchQuery;
+use orsp_types::rng::rng_for_indexed;
+use orsp_types::{Category, SimDuration};
+use orsp_world::{World, WorldConfig};
+use rand::Rng;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let seed = seed_from_args();
+    let clients = arg_u64("clients", 2) as usize;
+    let seconds = arg_u64("seconds", 2);
+    let reps = arg_u64("reps", 3);
+    header("TRACE", "tracing overhead: primitive costs + sampling-rate A/B");
+
+    println!("\n-- primitive costs (tight loop, 1M ops) --");
+    let (unsampled_ns, sampled_ns) = primitive_costs();
+    println!("root, unsampled       {unsampled_ns:>7.1} ns/op");
+    println!("root+child, sampled   {sampled_ns:>7.1} ns/op");
+
+    let world = World::generate(WorldConfig {
+        users_per_zipcode: 30,
+        horizon: SimDuration::days(60),
+        ..WorldConfig::tiny(seed)
+    })
+    .unwrap();
+    let config = PipelineConfig::default();
+    let server_config = ServerConfig {
+        workers: clients + 2,
+        queue_depth: 64,
+        read_timeout: Duration::from_secs(5),
+        write_timeout: Duration::from_secs(5),
+    };
+    let (server, service) = serve(&world, &config, "127.0.0.1:0", server_config).expect("bind");
+    let addr = server.local_addr();
+    println!(
+        "\nserver: {addr} — {} workers, {} listings indexed",
+        server_config.workers,
+        world.entities.len()
+    );
+
+    // Interleave the arms: off, 1%, 100%, off, 1%, 100%, ...
+    println!("\n-- A/B: {reps} reps x {seconds}s per arm, {clients} clients, interleaved --");
+    let mut best_off = 0.0f64;
+    let mut best_one_pct = 0.0f64;
+    let mut best_full = 0.0f64;
+    let zipcodes: Vec<u32> = world.zipcodes.iter().map(|z| z.code).collect();
+    let entities: Vec<_> = world.entities.iter().map(|e| e.id).collect();
+    for rep in 0..reps {
+        let tracer = service.obs().tracer();
+        tracer.set_sampling(0);
+        let off = run_phase(addr, clients, seconds, seed + rep * 3, &zipcodes, &entities);
+        tracer.set_sampling(100);
+        let one = run_phase(addr, clients, seconds, seed + rep * 3 + 1, &zipcodes, &entities);
+        tracer.set_sampling(10_000);
+        let full = run_phase(addr, clients, seconds, seed + rep * 3 + 2, &zipcodes, &entities);
+        // Keep the completed-trace queue from pinning memory between reps.
+        tracer.drain_completed(usize::MAX);
+        println!(
+            "rep {rep}: off {} req/s   1% {} req/s   100% {} req/s",
+            f(off),
+            f(one),
+            f(full)
+        );
+        best_off = best_off.max(off);
+        best_one_pct = best_one_pct.max(one);
+        best_full = best_full.max(full);
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.protocol_errors, 0, "load generator must speak clean protocol");
+
+    let pct = |arm: f64| if best_off > 0.0 { (best_off - arm) / best_off * 100.0 } else { 0.0 };
+    let one_pct_overhead = pct(best_one_pct);
+    let full_overhead = pct(best_full);
+    let pass = one_pct_overhead < 3.0;
+    println!(
+        "\nbest off {} req/s, 1% {} req/s ({:+.2}%), 100% {} req/s ({:+.2}%)",
+        f(best_off),
+        f(best_one_pct),
+        -one_pct_overhead,
+        f(best_full),
+        -full_overhead,
+    );
+    println!(
+        "1% sampling overhead {:.2}% (target < 3%: {})",
+        one_pct_overhead,
+        if pass { "PASS" } else { "FAIL" }
+    );
+
+    write_json(
+        seed, clients, seconds, reps, unsampled_ns, sampled_ns, best_off, best_one_pct,
+        best_full, one_pct_overhead, full_overhead, pass,
+    );
+}
+
+/// ns/op for the tracer fast paths, over 1M iterations each.
+fn primitive_costs() -> (f64, f64) {
+    const N: u64 = 1_000_000;
+
+    let never = Registry::new();
+    never.tracer().set_sampling(0);
+    let t0 = Instant::now();
+    for _ in 0..N {
+        never.tracer().start_root("bench").end();
+    }
+    let unsampled_ns = t0.elapsed().as_nanos() as f64 / N as f64;
+
+    let always = Registry::new();
+    always.tracer().set_sampling(10_000);
+    let t0 = Instant::now();
+    for i in 0..N {
+        let root = always.tracer().start_root("bench");
+        orsp_obs::trace::child("bench_child").end();
+        root.end();
+        if i % 4096 == 0 {
+            // The rings are bounded, but keep the completed queue cold.
+            always.tracer().drain_completed(usize::MAX);
+        }
+    }
+    let sampled_ns = t0.elapsed().as_nanos() as f64 / N as f64;
+
+    (unsampled_ns, sampled_ns)
+}
+
+/// One closed-loop phase over the cheap RPC mix (ping / search /
+/// aggregate) — cheap requests maximise the *relative* cost of the
+/// tracer's per-request work, making this a harsh measurement. Returns
+/// req/s.
+fn run_phase(
+    addr: SocketAddr,
+    clients: usize,
+    seconds: u64,
+    seed: u64,
+    zipcodes: &[u32],
+    entities: &[orsp_types::EntityId],
+) -> f64 {
+    let deadline = Duration::from_secs(seconds);
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|thread| {
+            let zipcodes = zipcodes.to_vec();
+            let entities = entities.to_vec();
+            std::thread::spawn(move || {
+                let mut rng = rng_for_indexed(seed, "trace-bench", thread as u64);
+                let mut client =
+                    NetClient::connect(addr, ClientConfig::default()).expect("connect");
+                client.ping().expect("warmup ping");
+                let categories = Category::all_physical();
+                let begin = Instant::now();
+                let mut done = 0u64;
+                let mut i = 0u64;
+                while begin.elapsed() < deadline {
+                    let ok = match i % 4 {
+                        0 => client.ping().is_ok(),
+                        1 => client
+                            .fetch_aggregate(entities[rng.gen_range(0..entities.len())])
+                            .is_ok(),
+                        _ => client
+                            .search(SearchQuery {
+                                zipcode: zipcodes[rng.gen_range(0..zipcodes.len())],
+                                category: categories[rng.gen_range(0..categories.len())],
+                            })
+                            .is_ok(),
+                    };
+                    if ok {
+                        done += 1;
+                    }
+                    i += 1;
+                }
+                done
+            })
+        })
+        .collect();
+    let total: u64 = handles.into_iter().map(|h| h.join().expect("bench worker")).sum();
+    total as f64 / started.elapsed().as_secs_f64()
+}
+
+/// Hand-rolled JSON (the workspace has no serde_json): flat and stable.
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    seed: u64,
+    clients: usize,
+    seconds: u64,
+    reps: u64,
+    unsampled_ns: f64,
+    sampled_ns: f64,
+    best_off: f64,
+    best_one_pct: f64,
+    best_full: f64,
+    one_pct_overhead: f64,
+    full_overhead: f64,
+    pass: bool,
+) {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"trace_overhead\",\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"clients\": {clients},\n"));
+    out.push_str(&format!("  \"seconds_per_arm\": {seconds},\n"));
+    out.push_str(&format!("  \"reps\": {reps},\n"));
+    out.push_str(&format!(
+        "  \"primitives_ns\": {{\"root_unsampled\": {unsampled_ns:.1}, \
+         \"root_child_sampled\": {sampled_ns:.1}}},\n"
+    ));
+    out.push_str(&format!(
+        "  \"closed_loop_rps\": {{\"off\": {best_off:.1}, \"one_pct\": {best_one_pct:.1}, \
+         \"full\": {best_full:.1}}},\n"
+    ));
+    out.push_str(&format!("  \"one_pct_overhead_pct\": {one_pct_overhead:.2},\n"));
+    out.push_str(&format!("  \"full_overhead_pct\": {full_overhead:.2},\n"));
+    out.push_str(&format!("  \"one_pct_overhead_below_3pct\": {pass}\n"));
+    out.push_str("}\n");
+
+    let path = "results/BENCH_trace_overhead.json";
+    match std::fs::write(path, &out) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => println!("could not write {path}: {e}"),
+    }
+}

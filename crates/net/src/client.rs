@@ -23,6 +23,7 @@ use crate::stream::{read_message, write_message};
 use crate::transport::Transport;
 use crate::wire::{Request, Response, SearchHit};
 use orsp_client::UploadRequest;
+use orsp_obs::{TraceContext, TraceRecord};
 use orsp_crypto::{BlindSignature, BlindedMessage};
 use orsp_search::SearchQuery;
 use orsp_server::{EntityAggregate, RejectReason};
@@ -194,7 +195,7 @@ impl NetClient {
         let stream = self.ensure_stream()?;
         write_message(stream, frame)?;
         match read_message(stream)? {
-            Some(payload) => {
+            Some((payload, _ctx)) => {
                 let response = Response::decode_payload(&payload)?;
                 self.reused = true;
                 Ok(Some(response))
@@ -205,13 +206,27 @@ impl NetClient {
 
     /// Send one request; retry with exponential backoff on `Busy`,
     /// timeouts, and dropped connections, reconnecting each time.
+    ///
+    /// If the calling thread is inside a traced span, the span's context
+    /// is stamped onto the frame so the server continues the trace.
     pub fn call(&mut self, request: &Request) -> Result<Response, NetError> {
         self.call_traced(request).map(|(response, _)| response)
     }
 
     /// [`NetClient::call`], plus per-call attempt accounting.
     pub fn call_traced(&mut self, request: &Request) -> Result<(Response, CallTrace), NetError> {
-        let frame = request.encode();
+        self.call_traced_with(request, orsp_obs::trace::current())
+    }
+
+    /// [`NetClient::call_traced`] with an explicit trace context instead
+    /// of the thread's ambient one — for callers that fan work out to
+    /// scoped threads (thread-locals don't cross that boundary).
+    pub fn call_traced_with(
+        &mut self,
+        request: &Request,
+        ctx: Option<TraceContext>,
+    ) -> Result<(Response, CallTrace), NetError> {
+        let frame = request.encode_traced(ctx.as_ref());
         let mut trace = CallTrace::default();
         let mut attempt: u32 = 0;
         loop {
@@ -333,6 +348,15 @@ impl NetClient {
             other => Err(unexpected(&other)),
         }
     }
+
+    /// Drain the server's completed sampled traces (each is returned at
+    /// most once; see the `Traces` RPC).
+    pub fn traces(&mut self) -> Result<Vec<TraceRecord>, NetError> {
+        match self.call(&Request::Traces)? {
+            Response::Traces { traces } => Ok(traces),
+            other => Err(unexpected(&other)),
+        }
+    }
 }
 
 fn unexpected(response: &Response) -> NetError {
@@ -433,6 +457,16 @@ impl NetPool {
         self.slot().lock().call_traced(request)
     }
 
+    /// [`NetPool::call_traced`] with an explicit trace context (for
+    /// callers dispatching from scoped threads).
+    pub fn call_traced_with(
+        &self,
+        request: &Request,
+        ctx: Option<TraceContext>,
+    ) -> Result<(Response, CallTrace), NetError> {
+        self.slot().lock().call_traced_with(request, ctx)
+    }
+
     /// Retry/backoff accounting summed across every slot.
     pub fn retry_stats(&self) -> RetryStats {
         let mut total = RetryStats::default();
@@ -455,7 +489,7 @@ mod tests {
     use std::net::TcpListener;
 
     fn answer_ping(stream: &mut TcpStream) {
-        let payload = read_message(stream).expect("read").expect("frame");
+        let (payload, _) = read_message(stream).expect("read").expect("frame");
         assert!(matches!(Request::decode_payload(&payload).expect("decode"), Request::Ping));
         write_message(stream, &Response::Pong.encode()).expect("write");
     }
@@ -582,7 +616,7 @@ mod tests {
                 let (mut s, _) = listener.accept().expect("accept");
                 workers.push(std::thread::spawn(move || {
                     let mut served = 0u32;
-                    while let Ok(Some(payload)) = read_message(&mut s) {
+                    while let Ok(Some((payload, _))) = read_message(&mut s) {
                         assert!(matches!(
                             Request::decode_payload(&payload).expect("decode"),
                             Request::Ping

@@ -37,7 +37,7 @@
 use crate::wire::{Request, Response, SearchHit};
 use orsp_crypto::blind::{sign_blinded, verify_unblinded};
 use orsp_crypto::{RsaPublicKey, TokenMint};
-use orsp_obs::{Counter, Histogram, Registry};
+use orsp_obs::{trace, Counter, Histogram, Registry, TraceContext};
 use orsp_search::{InferredSummary, Ranker, ReviewSummary, SearchIndex};
 use orsp_server::{
     lockorder::{self, rank},
@@ -63,6 +63,11 @@ pub struct ServiceConfig {
     /// appends to exactly its own on-disk segment log.
     pub ingest_shards: usize,
 }
+
+/// Most completed traces one `Traces` RPC returns (the tracer's
+/// completed queue is itself bounded; draining moves records out, so a
+/// poller sees each trace exactly once).
+const TRACES_RPC_LIMIT: usize = 16;
 
 impl Default for ServiceConfig {
     fn default() -> Self {
@@ -101,6 +106,7 @@ struct RouterMetrics {
     rpc_fetch_aggregate_us: Histogram,
     rpc_search_us: Histogram,
     rpc_stats_us: Histogram,
+    rpc_traces_us: Histogram,
     rpc_aggregate_parts_us: Histogram,
     rpc_aggregate_parts_batch_us: Histogram,
     mint_issued_total: Counter,
@@ -122,6 +128,7 @@ impl RouterMetrics {
             rpc_fetch_aggregate_us: obs.histogram("rpc_fetch_aggregate_us"),
             rpc_search_us: obs.histogram("rpc_search_us"),
             rpc_stats_us: obs.histogram("rpc_stats_us"),
+            rpc_traces_us: obs.histogram("rpc_traces_us"),
             rpc_aggregate_parts_us: obs.histogram("rpc_aggregate_parts_us"),
             rpc_aggregate_parts_batch_us: obs.histogram("rpc_aggregate_parts_batch_us"),
             mint_issued_total: obs.counter("mint_issued_total"),
@@ -189,6 +196,7 @@ impl RspService {
         ingest: IngestService,
     ) -> Self {
         let obs = Arc::new(Registry::new());
+        obs.tracer().set_process("server");
         let metrics = RouterMetrics::resolve(&obs);
         let mint_public = mint.public_key().clone();
         RspService {
@@ -261,6 +269,7 @@ impl RspService {
     /// so search ranking blends them in. Builds the next read snapshot
     /// and swaps it; in-flight searches finish against the old one.
     pub fn publish_inferred(&self, inferred: HashMap<EntityId, StarHistogram>) {
+        let _span = trace::child("publish_snapshot");
         let mut cell = self.read.lock();
         let next = ReadState {
             index: cell.index.clone(),
@@ -284,6 +293,7 @@ impl RspService {
     /// brief cell lock for the swap; in-flight reads finish against the
     /// old snapshot.
     pub fn publish_aggregates(&self) {
+        let _span = trace::child("publish_snapshot");
         let aggregates: HashMap<EntityId, AggregateParts> = self
             .ingest
             .histories_by_entity()
@@ -306,20 +316,37 @@ impl RspService {
     /// Handle one decoded request, recording per-RPC latency and outcome
     /// counters into the service registry.
     pub fn handle(&self, request: Request) -> Response {
-        let hist = match &request {
-            Request::Ping => &self.metrics.rpc_ping_us,
-            Request::IssueToken { .. } => &self.metrics.rpc_issue_token_us,
-            Request::Upload { .. } => &self.metrics.rpc_upload_us,
-            Request::FetchAggregate { .. } => &self.metrics.rpc_fetch_aggregate_us,
-            Request::Search { .. } => &self.metrics.rpc_search_us,
-            Request::Stats => &self.metrics.rpc_stats_us,
-            Request::AggregateParts { .. } => &self.metrics.rpc_aggregate_parts_us,
+        self.handle_traced(request, None)
+    }
+
+    /// [`Self::handle`] continuing the caller's distributed trace: the
+    /// whole RPC becomes a `server/<kind>` span parented under the
+    /// context the frame arrived with (or a new root for direct calls,
+    /// subject to the tracer's sampling).
+    pub fn handle_traced(&self, request: Request, ctx: Option<TraceContext>) -> Response {
+        let (hist, name) = match &request {
+            Request::Ping => (&self.metrics.rpc_ping_us, "server/ping"),
+            Request::IssueToken { .. } => {
+                (&self.metrics.rpc_issue_token_us, "server/issue_token")
+            }
+            Request::Upload { .. } => (&self.metrics.rpc_upload_us, "server/upload"),
+            Request::FetchAggregate { .. } => {
+                (&self.metrics.rpc_fetch_aggregate_us, "server/fetch_aggregate")
+            }
+            Request::Search { .. } => (&self.metrics.rpc_search_us, "server/search"),
+            Request::Stats => (&self.metrics.rpc_stats_us, "server/stats"),
+            Request::Traces => (&self.metrics.rpc_traces_us, "server/traces"),
+            Request::AggregateParts { .. } => {
+                (&self.metrics.rpc_aggregate_parts_us, "server/aggregate_parts")
+            }
             Request::AggregatePartsBatch { .. } => {
-                &self.metrics.rpc_aggregate_parts_batch_us
+                (&self.metrics.rpc_aggregate_parts_batch_us, "server/aggregate_parts_batch")
             }
         };
         let span = self.obs.span_into(hist);
+        let trace_span = self.obs.tracer().root_or_remote(ctx, name);
         let response = self.dispatch(request);
+        trace_span.end();
         span.end();
         response
     }
@@ -432,6 +459,9 @@ impl RspService {
                 }
             }
             Request::Stats => Response::Stats { snapshot: self.obs.snapshot() },
+            Request::Traces => Response::Traces {
+                traces: self.obs.tracer().drain_completed(TRACES_RPC_LIMIT),
+            },
             Request::AggregateParts { entity } => {
                 // Cluster-internal scatter-gather leg: deliberately
                 // floor-unfiltered — the proxy applies the k-anonymity

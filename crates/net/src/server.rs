@@ -15,7 +15,7 @@ use crate::router::RspService;
 use crate::stream::{read_message, write_message};
 use crate::wire::{Request, Response};
 use crossbeam::channel::{Receiver, Sender, TrySendError};
-use orsp_obs::{Counter, Registry};
+use orsp_obs::{Counter, Registry, TraceContext};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -125,14 +125,20 @@ impl ServerMetrics {
 /// same frames through the same server loop.
 pub trait FrameService: Send + Sync {
     /// Handle one decoded request.
-    fn handle(&self, request: Request) -> Response;
+    fn handle(&self, request: Request) -> Response {
+        self.handle_traced(request, None)
+    }
+    /// Handle one decoded request carrying the trace context its frame
+    /// arrived with (None for v1 peers and unstamped frames). Services
+    /// that trace continue the caller's trace; the default ignores it.
+    fn handle_traced(&self, request: Request, ctx: Option<TraceContext>) -> Response;
     /// The registry the fronting server should record into.
     fn obs(&self) -> &Arc<Registry>;
 }
 
 impl FrameService for RspService {
-    fn handle(&self, request: Request) -> Response {
-        RspService::handle(self, request)
+    fn handle_traced(&self, request: Request, ctx: Option<TraceContext>) -> Response {
+        RspService::handle_traced(self, request, ctx)
     }
 
     fn obs(&self) -> &Arc<Registry> {
@@ -330,8 +336,8 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
     let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
     loop {
-        let payload = match read_message(&mut stream) {
-            Ok(Some(payload)) => payload,
+        let (payload, ctx) = match read_message(&mut stream) {
+            Ok(Some(message)) => message,
             Ok(None) => return, // clean close between frames
             Err(NetError::Wire(e)) => {
                 // Framing is unrecoverable mid-stream: report, then close.
@@ -353,7 +359,7 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
         let response = match Request::decode_payload(&payload) {
             Ok(request) => {
                 shared.metrics.requests.inc();
-                shared.service.handle(request)
+                shared.service.handle_traced(request, ctx)
             }
             Err(e) => {
                 shared.metrics.protocol_error((&e).into());

@@ -1,12 +1,19 @@
 //! Frame I/O over blocking byte streams (`std::io::Read`/`Write`).
 //!
 //! Shared by the TCP server and client so both sides enforce the same
-//! header validation, CRC check, and payload cap. Deadlines are the
-//! socket's read/write timeouts — a peer that stalls mid-frame surfaces
-//! as [`NetError::Timeout`], never as a hang.
+//! header validation, CRC check, and payload cap. The header is read in
+//! stages — magic+version first, then the version's fixed remainder,
+//! then the optional trace-context block — so a v1 peer and a v2 peer
+//! land in the same payload path. Deadlines are the socket's read/write
+//! timeouts — a peer that stalls mid-frame surfaces as
+//! [`NetError::Timeout`], never as a hang.
 
 use crate::error::NetError;
-use crate::wire::{check_crc, parse_header, HEADER_LEN};
+use crate::wire::{
+    check_crc, parse_prefix, parse_trace_ctx, parse_v1_rest, parse_v2_rest, HEADER_LEN,
+    HEADER_LEN_V2, PREFIX_LEN, TRACE_CTX_LEN, V1,
+};
+use orsp_obs::TraceContext;
 use std::io::{Read, Write};
 
 /// Write one already-framed message.
@@ -15,11 +22,14 @@ pub fn write_message<W: Write>(w: &mut W, frame: &[u8]) -> Result<(), NetError> 
     w.flush().map_err(NetError::from_io)
 }
 
-/// Read one message's payload. `Ok(None)` means the peer closed
-/// *between* frames — not one message byte arrived; EOF or a dropped
-/// connection mid-frame is a typed error.
-pub fn read_message<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, NetError> {
-    let mut header = [0u8; HEADER_LEN];
+/// Read one message: the payload plus the trace context, if the sender
+/// stamped one. `Ok(None)` means the peer closed *between* frames — not
+/// one message byte arrived; EOF or a dropped connection mid-frame is a
+/// typed error.
+pub fn read_message<R: Read>(
+    r: &mut R,
+) -> Result<Option<(Vec<u8>, Option<TraceContext>)>, NetError> {
+    let mut prefix = [0u8; PREFIX_LEN];
     // First byte separately: a close before any header byte is a normal
     // end of conversation, not an error. That covers both the clean FIN
     // and the reset a keep-alive race produces (peer closes while our
@@ -36,13 +46,30 @@ pub fn read_message<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, NetError> {
             Err(e) => return Err(NetError::from_io(e)),
         }
     }
-    header[0] = first[0];
-    r.read_exact(&mut header[1..]).map_err(NetError::from_io)?;
-    let (len, crc) = parse_header(&header)?;
+    prefix[0] = first[0];
+    r.read_exact(&mut prefix[1..]).map_err(NetError::from_io)?;
+    let version = parse_prefix(&prefix)?;
+    let (traced, len, crc) = if version == V1 {
+        let mut rest = [0u8; HEADER_LEN - PREFIX_LEN];
+        r.read_exact(&mut rest).map_err(NetError::from_io)?;
+        let (len, crc) = parse_v1_rest(&rest)?;
+        (false, len, crc)
+    } else {
+        let mut rest = [0u8; HEADER_LEN_V2 - PREFIX_LEN];
+        r.read_exact(&mut rest).map_err(NetError::from_io)?;
+        parse_v2_rest(&rest)?
+    };
+    let ctx = if traced {
+        let mut block = [0u8; TRACE_CTX_LEN];
+        r.read_exact(&mut block).map_err(NetError::from_io)?;
+        Some(parse_trace_ctx(&block)?)
+    } else {
+        None
+    };
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload).map_err(NetError::from_io)?;
     check_crc(&payload, crc)?;
-    Ok(Some(payload))
+    Ok(Some((payload, ctx)))
 }
 
 /// Errors a dead peer's teardown produces at the *first* byte of a
@@ -58,7 +85,7 @@ fn reset_kind(e: &std::io::Error) -> bool {
 mod tests {
     use super::*;
     use crate::error::WireError;
-    use crate::wire::frame;
+    use crate::wire::{frame, frame_traced, frame_v1};
 
     #[test]
     fn round_trip_over_cursor() {
@@ -66,15 +93,38 @@ mod tests {
         write_message(&mut buf, &frame(b"abc")).unwrap();
         write_message(&mut buf, &frame(b"defg")).unwrap();
         let mut r = &buf[..];
-        assert_eq!(read_message(&mut r).unwrap(), Some(b"abc".to_vec()));
-        assert_eq!(read_message(&mut r).unwrap(), Some(b"defg".to_vec()));
+        assert_eq!(read_message(&mut r).unwrap(), Some((b"abc".to_vec(), None)));
+        assert_eq!(read_message(&mut r).unwrap(), Some((b"defg".to_vec(), None)));
         assert_eq!(read_message(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn trace_context_rides_the_frame() {
+        let ctx = TraceContext { trace_id: 42, span_id: 7, sampled: true };
+        let mut buf = Vec::new();
+        write_message(&mut buf, &frame_traced(b"abc", Some(&ctx))).unwrap();
+        write_message(&mut buf, &frame_v1(b"old")).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_message(&mut r).unwrap(), Some((b"abc".to_vec(), Some(ctx))));
+        assert_eq!(
+            read_message(&mut r).unwrap(),
+            Some((b"old".to_vec(), None)),
+            "a v1 peer interleaves cleanly"
+        );
     }
 
     #[test]
     fn eof_mid_frame_is_an_error() {
         let framed = frame(b"abcdef");
         let mut r = &framed[..framed.len() - 2];
+        assert!(matches!(read_message(&mut r), Err(NetError::Closed)));
+    }
+
+    #[test]
+    fn eof_mid_trace_context_is_an_error() {
+        let ctx = TraceContext { trace_id: 42, span_id: 7, sampled: false };
+        let framed = frame_traced(b"abcdef", Some(&ctx));
+        let mut r = &framed[..HEADER_LEN_V2 + TRACE_CTX_LEN / 2];
         assert!(matches!(read_message(&mut r), Err(NetError::Closed)));
     }
 
@@ -93,7 +143,7 @@ mod tests {
     #[test]
     fn hostile_length_is_capped() {
         let mut framed = frame(b"x");
-        framed[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+        framed[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
         let mut r = &framed[..];
         assert!(matches!(
             read_message(&mut r),

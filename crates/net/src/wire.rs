@@ -22,7 +22,9 @@ use crate::error::WireError;
 use bytes::{BufMut, BytesMut};
 use orsp_client::UploadRequest;
 use orsp_crypto::{BigUint, BlindSignature, BlindedMessage, Token};
-use orsp_obs::{HistogramSnapshot, StatsSnapshot};
+use orsp_obs::{
+    EventSnapshot, HistogramSnapshot, SpanRecord, StatsSnapshot, TraceContext, TraceRecord,
+};
 use orsp_search::SearchQuery;
 use orsp_server::{crc32, AggregateParts, EntityAggregate, RejectReason};
 use orsp_types::{
@@ -32,49 +34,129 @@ use orsp_types::{
 
 /// Frame magic: "ORSP".
 pub const MAGIC: [u8; 4] = *b"ORSP";
-/// Protocol version this endpoint speaks.
-pub const VERSION: u8 = 1;
-/// Bytes before the payload: magic, version, length, CRC.
+/// The original frame version: fixed 13-byte header, no flags.
+pub const V1: u8 = 1;
+/// Protocol version this endpoint speaks: v2 adds a flags byte and an
+/// optional trace-context block. Inbound v1 frames are still accepted.
+pub const VERSION: u8 = 2;
+/// v1 header bytes: magic, version, length, CRC.
 pub const HEADER_LEN: usize = 13;
+/// v2 header bytes: magic, version, flags, length, CRC.
+pub const HEADER_LEN_V2: usize = 14;
+/// Magic + version — the prefix shared by every frame version.
+pub const PREFIX_LEN: usize = 5;
+/// The optional trace-context block: trace id (16) + span id (8) +
+/// sampled flag (1).
+pub const TRACE_CTX_LEN: usize = 25;
+/// v2 flags bit: a trace-context block follows the header.
+pub const FLAG_TRACE: u8 = 0x01;
 /// Hard cap on payload size. Anything larger is rejected before any
 /// allocation happens — a hostile length prefix cannot balloon memory.
 pub const MAX_PAYLOAD: usize = 1 << 20;
 
 // ---------------------------------------------------------------- frames
 
-/// Wrap a payload in a frame (header + CRC).
+/// Wrap a payload in a v2 frame (no trace context).
 ///
 /// Payloads built by this crate are far below [`MAX_PAYLOAD`]; this is
 /// debug-asserted rather than returned as an error because an oversized
 /// *outgoing* frame is a bug in the encoder, not a runtime condition.
 pub fn frame(payload: &[u8]) -> Vec<u8> {
+    frame_traced(payload, None)
+}
+
+/// Wrap a payload in a v2 frame, stamping a trace context between the
+/// header and the payload when one is given. The CRC covers the payload
+/// only — the context is routing metadata, corruption there cannot
+/// corrupt a request.
+pub fn frame_traced(payload: &[u8], ctx: Option<&TraceContext>) -> Vec<u8> {
+    debug_assert!(payload.len() <= MAX_PAYLOAD);
+    let extra = if ctx.is_some() { TRACE_CTX_LEN } else { 0 };
+    let mut buf = BytesMut::with_capacity(HEADER_LEN_V2 + extra + payload.len());
+    buf.put_slice(&MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(if ctx.is_some() { FLAG_TRACE } else { 0 });
+    buf.put_u32_le(payload.len() as u32);
+    buf.put_u32_le(crc32(payload));
+    if let Some(ctx) = ctx {
+        buf.put_slice(&ctx.trace_id.to_le_bytes());
+        buf.put_u64_le(ctx.span_id);
+        buf.put_u8(ctx.sampled as u8);
+    }
+    buf.put_slice(payload);
+    buf.freeze().to_vec()
+}
+
+/// Wrap a payload in a v1 frame — what a pre-trace peer sends. Kept so
+/// compatibility tests (and any old client) exercise the v1 decode path.
+pub fn frame_v1(payload: &[u8]) -> Vec<u8> {
     debug_assert!(payload.len() <= MAX_PAYLOAD);
     let mut buf = BytesMut::with_capacity(HEADER_LEN + payload.len());
     buf.put_slice(&MAGIC);
-    buf.put_u8(VERSION);
+    buf.put_u8(V1);
     buf.put_u32_le(payload.len() as u32);
     buf.put_u32_le(crc32(payload));
     buf.put_slice(payload);
     buf.freeze().to_vec()
 }
 
-/// Parse a frame header: returns `(payload_len, expected_crc)`.
-pub fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(usize, u32), WireError> {
+/// Validate the 5-byte magic + version prefix; returns the version (1
+/// or 2). Streaming readers use this to learn how much header remains.
+pub fn parse_prefix(prefix: &[u8; PREFIX_LEN]) -> Result<u8, WireError> {
     let mut magic = [0u8; 4];
-    magic.copy_from_slice(&header[0..4]);
+    magic.copy_from_slice(&prefix[0..4]);
     if magic != MAGIC {
         return Err(WireError::BadMagic(magic));
     }
-    let version = header[4];
-    if version != VERSION {
+    let version = prefix[4];
+    if version != V1 && version != VERSION {
         return Err(WireError::BadVersion(version));
     }
-    let len = u32::from_le_bytes([header[5], header[6], header[7], header[8]]) as usize;
+    Ok(version)
+}
+
+/// Parse the rest of a v1 header (after the prefix): `(len, crc)`.
+pub fn parse_v1_rest(rest: &[u8; HEADER_LEN - PREFIX_LEN]) -> Result<(usize, u32), WireError> {
+    let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
     if len > MAX_PAYLOAD {
         return Err(WireError::Oversized { len });
     }
-    let crc = u32::from_le_bytes([header[9], header[10], header[11], header[12]]);
+    let crc = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
     Ok((len, crc))
+}
+
+/// Parse the rest of a v2 header (after the prefix):
+/// `(trace_context_follows, len, crc)`. Unknown flag bits are a typed
+/// error — a v3 sender must not be half-understood.
+pub fn parse_v2_rest(
+    rest: &[u8; HEADER_LEN_V2 - PREFIX_LEN],
+) -> Result<(bool, usize, u32), WireError> {
+    let flags = rest[0];
+    if flags & !FLAG_TRACE != 0 {
+        return Err(WireError::Malformed("unknown frame flags"));
+    }
+    let len = u32::from_le_bytes([rest[1], rest[2], rest[3], rest[4]]) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(WireError::Oversized { len });
+    }
+    let crc = u32::from_le_bytes([rest[5], rest[6], rest[7], rest[8]]);
+    Ok((flags & FLAG_TRACE != 0, len, crc))
+}
+
+/// Decode a trace-context block.
+pub fn parse_trace_ctx(block: &[u8; TRACE_CTX_LEN]) -> Result<TraceContext, WireError> {
+    let mut id = [0u8; 16];
+    id.copy_from_slice(&block[0..16]);
+    let trace_id = u128::from_le_bytes(id);
+    let mut span = [0u8; 8];
+    span.copy_from_slice(&block[16..24]);
+    let span_id = u64::from_le_bytes(span);
+    let sampled = match block[24] {
+        0 => false,
+        1 => true,
+        _ => return Err(WireError::Malformed("bad sampled flag")),
+    };
+    Ok(TraceContext { trace_id, span_id, sampled })
 }
 
 /// Verify a received payload against the CRC from its header.
@@ -86,22 +168,62 @@ pub fn check_crc(payload: &[u8], stored: u32) -> Result<(), WireError> {
     Ok(())
 }
 
-/// Decode one frame from a complete buffer: returns the payload slice and
-/// the total bytes consumed. Typed errors for every malformation.
-pub fn decode_frame(buf: &[u8]) -> Result<(&[u8], usize), WireError> {
-    if buf.len() < HEADER_LEN {
-        return Err(WireError::Truncated { have: buf.len(), need: HEADER_LEN });
+/// Decode one frame from a complete buffer: returns the payload slice,
+/// the trace context if the sender stamped one, and the total bytes
+/// consumed. Accepts both v1 and v2 frames; typed errors for every
+/// malformation.
+pub fn decode_frame_traced(
+    buf: &[u8],
+) -> Result<(&[u8], Option<TraceContext>, usize), WireError> {
+    if buf.len() < PREFIX_LEN {
+        return Err(WireError::Truncated { have: buf.len(), need: PREFIX_LEN });
     }
-    let mut header = [0u8; HEADER_LEN];
-    header.copy_from_slice(&buf[..HEADER_LEN]);
-    let (len, crc) = parse_header(&header)?;
-    let need = HEADER_LEN + len;
+    let mut prefix = [0u8; PREFIX_LEN];
+    prefix.copy_from_slice(&buf[..PREFIX_LEN]);
+    let version = parse_prefix(&prefix)?;
+    let (header_len, traced, len, crc) = if version == V1 {
+        if buf.len() < HEADER_LEN {
+            return Err(WireError::Truncated { have: buf.len(), need: HEADER_LEN });
+        }
+        let mut rest = [0u8; HEADER_LEN - PREFIX_LEN];
+        rest.copy_from_slice(&buf[PREFIX_LEN..HEADER_LEN]);
+        let (len, crc) = parse_v1_rest(&rest)?;
+        (HEADER_LEN, false, len, crc)
+    } else {
+        if buf.len() < HEADER_LEN_V2 {
+            return Err(WireError::Truncated { have: buf.len(), need: HEADER_LEN_V2 });
+        }
+        let mut rest = [0u8; HEADER_LEN_V2 - PREFIX_LEN];
+        rest.copy_from_slice(&buf[PREFIX_LEN..HEADER_LEN_V2]);
+        let (traced, len, crc) = parse_v2_rest(&rest)?;
+        (HEADER_LEN_V2, traced, len, crc)
+    };
+    let mut at = header_len;
+    let ctx = if traced {
+        if buf.len() < at + TRACE_CTX_LEN {
+            return Err(WireError::Truncated { have: buf.len(), need: at + TRACE_CTX_LEN });
+        }
+        let mut block = [0u8; TRACE_CTX_LEN];
+        block.copy_from_slice(&buf[at..at + TRACE_CTX_LEN]);
+        at += TRACE_CTX_LEN;
+        Some(parse_trace_ctx(&block)?)
+    } else {
+        None
+    };
+    let need = at + len;
     if buf.len() < need {
         return Err(WireError::Truncated { have: buf.len(), need });
     }
-    let payload = &buf[HEADER_LEN..need];
+    let payload = &buf[at..need];
     check_crc(payload, crc)?;
-    Ok((payload, need))
+    Ok((payload, ctx, need))
+}
+
+/// [`decode_frame_traced`], discarding the trace context — for readers
+/// (responses, tests) that don't care who traced what.
+pub fn decode_frame(buf: &[u8]) -> Result<(&[u8], usize), WireError> {
+    let (payload, _ctx, consumed) = decode_frame_traced(buf)?;
+    Ok((payload, consumed))
 }
 
 // ------------------------------------------------------------- messages
@@ -162,6 +284,10 @@ pub enum Request {
         /// The entities, in the order the answers must come back.
         entities: Vec<EntityId>,
     },
+    /// Drain completed sampled traces from the peer's span collector.
+    /// Against a proxy, the answer merges the proxy's own spans with
+    /// every backend's into stitched cross-process trees.
+    Traces,
 }
 
 /// A server-to-client response.
@@ -225,6 +351,13 @@ pub enum Response {
         /// Per requested entity, in request order.
         parts: Vec<Option<AggregateParts>>,
     },
+    /// Completed traces drained by a [`Request::Traces`]. Each drain
+    /// returns a trace at most once — polling moves data, it does not
+    /// re-read it.
+    Traces {
+        /// The drained traces, spans sorted by start time.
+        traces: Vec<TraceRecord>,
+    },
 }
 
 /// One search result on the wire: the ranked entity with both opinion
@@ -254,6 +387,7 @@ const T_SEARCH: u8 = 0x05;
 const T_STATS: u8 = 0x06;
 const T_AGG_PARTS: u8 = 0x07;
 const T_AGG_PARTS_BATCH: u8 = 0x08;
+const T_TRACES: u8 = 0x09;
 // Response tags (high bit set).
 const T_PONG: u8 = 0x81;
 const T_ISSUED: u8 = 0x82;
@@ -267,11 +401,18 @@ const T_ERROR: u8 = 0x89;
 const T_STATS_RESP: u8 = 0x8A;
 const T_AGG_PARTS_RESP: u8 = 0x8B;
 const T_AGG_PARTS_BATCH_RESP: u8 = 0x8C;
+const T_TRACES_RESP: u8 = 0x8D;
 
 impl Request {
     /// Encode into a complete frame.
     pub fn encode(&self) -> Vec<u8> {
         frame(&self.encode_payload())
+    }
+
+    /// Encode into a complete frame, stamping a trace context when one
+    /// is active.
+    pub fn encode_traced(&self, ctx: Option<&TraceContext>) -> Vec<u8> {
+        frame_traced(&self.encode_payload(), ctx)
     }
 
     /// Decode from a buffer holding exactly one frame.
@@ -321,6 +462,7 @@ impl Request {
                     buf.put_u64_le(entity.raw());
                 }
             }
+            Request::Traces => buf.put_u8(T_TRACES),
         }
         buf.freeze().to_vec()
     }
@@ -356,6 +498,7 @@ impl Request {
                 }
                 Request::AggregatePartsBatch { entities }
             }
+            T_TRACES => Request::Traces,
             tag => return Err(WireError::UnknownTag(tag)),
         };
         r.finish()?;
@@ -451,6 +594,10 @@ impl Response {
                     }
                 }
             }
+            Response::Traces { traces } => {
+                buf.put_u8(T_TRACES_RESP);
+                put_traces(&mut buf, traces);
+            }
         }
         buf.freeze().to_vec()
     }
@@ -515,6 +662,7 @@ impl Response {
                 }
                 Response::AggregatePartsBatch { parts }
             }
+            T_TRACES_RESP => Response::Traces { traces: r.traces()? },
             tag => return Err(WireError::UnknownTag(tag)),
         };
         r.finish()?;
@@ -597,7 +745,7 @@ fn put_parts(buf: &mut BytesMut, parts: &AggregateParts) {
     }
 }
 
-// A snapshot is three length-prefixed tables. Entry counts use u32 with
+// A snapshot is four length-prefixed tables. Entry counts use u32 with
 // a minimum-size guard on decode (a name is at least 2 bytes, a value 8)
 // so a hostile count cannot drive a large allocation.
 fn put_snapshot(buf: &mut BytesMut, snap: &StatsSnapshot) {
@@ -620,6 +768,30 @@ fn put_snapshot(buf: &mut BytesMut, snap: &StatsSnapshot) {
         buf.put_u64_le(h.p50);
         buf.put_u64_le(h.p90);
         buf.put_u64_le(h.p99);
+    }
+    buf.put_u32_le(snap.events.len() as u32);
+    for e in &snap.events {
+        buf.put_u64_le(e.at_micros);
+        put_string(buf, &e.kind);
+        put_string(buf, &e.detail);
+    }
+}
+
+// Traces travel as a length-prefixed table of traces, each a table of
+// spans — the same hostile-length guards as the snapshot tables.
+fn put_traces(buf: &mut BytesMut, traces: &[TraceRecord]) {
+    buf.put_u32_le(traces.len() as u32);
+    for t in traces {
+        buf.put_slice(&t.trace_id.to_le_bytes());
+        buf.put_u32_le(t.spans.len() as u32);
+        for s in &t.spans {
+            buf.put_u64_le(s.span_id);
+            buf.put_u64_le(s.parent_span_id);
+            put_string(buf, &s.name);
+            buf.put_u64_le(s.start_us);
+            buf.put_u64_le(s.end_us);
+            put_string(buf, &s.process);
+        }
     }
 }
 
@@ -713,6 +885,13 @@ impl<'a> Reader<'a> {
     fn u64(&mut self) -> Result<u64, WireError> {
         let b = self.take(8)?;
         Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    fn u128(&mut self) -> Result<u128, WireError> {
+        let b = self.take(16)?;
+        let mut bytes = [0u8; 16];
+        bytes.copy_from_slice(b);
+        Ok(u128::from_le_bytes(bytes))
     }
 
     fn i64(&mut self) -> Result<i64, WireError> {
@@ -821,7 +1000,39 @@ impl<'a> Reader<'a> {
                 p99: self.u64()?,
             });
         }
-        Ok(StatsSnapshot { counters, gauges, histograms })
+        let n = self.table_len(12)?; // u64 timestamp + two u16 string lens
+        let mut events = Vec::with_capacity(n);
+        for _ in 0..n {
+            events.push(EventSnapshot {
+                at_micros: self.u64()?,
+                kind: self.string()?,
+                detail: self.string()?,
+            });
+        }
+        Ok(StatsSnapshot { counters, gauges, histograms, events })
+    }
+
+    fn traces(&mut self) -> Result<Vec<TraceRecord>, WireError> {
+        let n = self.table_len(20)?; // u128 trace id + u32 span count
+        let mut traces = Vec::with_capacity(n);
+        for _ in 0..n {
+            let trace_id = self.u128()?;
+            // Each span: two u64 ids, two u64 timestamps, two string lens.
+            let m = self.table_len(36)?;
+            let mut spans = Vec::with_capacity(m);
+            for _ in 0..m {
+                spans.push(SpanRecord {
+                    span_id: self.u64()?,
+                    parent_span_id: self.u64()?,
+                    name: self.string()?,
+                    start_us: self.u64()?,
+                    end_us: self.u64()?,
+                    process: self.string()?,
+                });
+            }
+            traces.push(TraceRecord { trace_id, spans });
+        }
+        Ok(traces)
     }
 
     fn parts(&mut self) -> Result<AggregateParts, WireError> {
@@ -901,23 +1112,66 @@ impl<'a> Reader<'a> {
 mod tests {
     use super::*;
 
+    fn ctx() -> TraceContext {
+        TraceContext { trace_id: 0xDEAD_BEEF_0123_4567_89AB_CDEF_0011_2233, span_id: 77, sampled: true }
+    }
+
     #[test]
     fn frame_round_trip() {
         let framed = frame(b"payload");
-        let (payload, consumed) = decode_frame(&framed).unwrap();
+        assert_eq!(framed.len(), HEADER_LEN_V2 + b"payload".len());
+        let (payload, ctx, consumed) = decode_frame_traced(&framed).unwrap();
         assert_eq!(payload, b"payload");
+        assert_eq!(ctx, None);
+        assert_eq!(consumed, framed.len());
+    }
+
+    #[test]
+    fn traced_frame_round_trip() {
+        let framed = frame_traced(b"payload", Some(&ctx()));
+        assert_eq!(framed.len(), HEADER_LEN_V2 + TRACE_CTX_LEN + b"payload".len());
+        let (payload, got, consumed) = decode_frame_traced(&framed).unwrap();
+        assert_eq!(payload, b"payload");
+        assert_eq!(got, Some(ctx()));
+        assert_eq!(consumed, framed.len());
+    }
+
+    #[test]
+    fn v1_frame_still_decodes() {
+        let framed = frame_v1(b"payload");
+        assert_eq!(framed.len(), HEADER_LEN + b"payload".len());
+        let (payload, ctx, consumed) = decode_frame_traced(&framed).unwrap();
+        assert_eq!(payload, b"payload");
+        assert_eq!(ctx, None);
         assert_eq!(consumed, framed.len());
     }
 
     #[test]
     fn truncated_header_is_typed() {
-        let framed = frame(b"hello");
-        for cut in 0..HEADER_LEN {
-            assert!(matches!(
-                decode_frame(&framed[..cut]),
-                Err(WireError::Truncated { .. })
-            ));
+        for framed in [frame(b"hello"), frame_v1(b"hello"), frame_traced(b"hello", Some(&ctx()))]
+        {
+            let payload_start = framed.len() - b"hello".len();
+            for cut in 0..payload_start {
+                assert!(matches!(
+                    decode_frame(&framed[..cut]),
+                    Err(WireError::Truncated { .. })
+                ));
+            }
         }
+    }
+
+    #[test]
+    fn bad_sampled_flag_is_typed() {
+        let mut framed = frame_traced(b"hello", Some(&ctx()));
+        framed[HEADER_LEN_V2 + TRACE_CTX_LEN - 1] = 7;
+        assert!(matches!(decode_frame(&framed), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn unknown_frame_flags_are_typed() {
+        let mut framed = frame(b"hello");
+        framed[5] = 0x80;
+        assert!(matches!(decode_frame(&framed), Err(WireError::Malformed(_))));
     }
 
     #[test]
@@ -939,7 +1193,12 @@ mod tests {
 
     #[test]
     fn oversized_length_is_rejected_before_allocation() {
+        // v2: length sits after magic(4) + version(1) + flags(1).
         let mut framed = frame(b"x");
+        framed[6..10].copy_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(matches!(decode_frame(&framed), Err(WireError::Oversized { .. })));
+        // v1: length sits right after magic(4) + version(1).
+        let mut framed = frame_v1(b"x");
         framed[5..9].copy_from_slice(&(u32::MAX).to_le_bytes());
         assert!(matches!(decode_frame(&framed), Err(WireError::Oversized { .. })));
     }
@@ -1090,11 +1349,81 @@ mod tests {
                 p90: 15,
                 p99: 15,
             }],
+            events: vec![EventSnapshot {
+                at_micros: 12,
+                kind: "shed".into(),
+                detail: "peer 10.0.0.1:9".into(),
+            }],
         };
         let resp = Response::Stats { snapshot };
         assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
         let empty = Response::Stats { snapshot: StatsSnapshot::default() };
         assert_eq!(Response::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn traces_messages_round_trip() {
+        assert_eq!(Request::decode(&Request::Traces.encode()).unwrap(), Request::Traces);
+        let resp = Response::Traces {
+            traces: vec![
+                TraceRecord { trace_id: 5, spans: vec![] },
+                TraceRecord {
+                    trace_id: u128::MAX,
+                    spans: vec![SpanRecord {
+                        span_id: 9,
+                        parent_span_id: 0,
+                        name: "proxy/upload".into(),
+                        start_us: 10,
+                        end_us: 40,
+                        process: "proxy".into(),
+                    }],
+                },
+            ],
+        };
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        let empty = Response::Traces { traces: vec![] };
+        assert_eq!(Response::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn hostile_trace_lengths_do_not_allocate() {
+        // 4 billion traces claimed in a 5-byte payload.
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u8(T_TRACES_RESP);
+        buf.put_u32_le(u32::MAX);
+        let framed = frame(&buf.freeze().to_vec());
+        assert_eq!(
+            Response::decode(&framed),
+            Err(WireError::Malformed("table length exceeds payload"))
+        );
+        // One trace claiming 4 billion spans.
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_u8(T_TRACES_RESP);
+        buf.put_u32_le(1);
+        buf.put_slice(&7u128.to_le_bytes());
+        buf.put_u32_le(u32::MAX);
+        let framed = frame(&buf.freeze().to_vec());
+        assert_eq!(
+            Response::decode(&framed),
+            Err(WireError::Malformed("table length exceeds payload"))
+        );
+    }
+
+    #[test]
+    fn hostile_event_lengths_do_not_allocate() {
+        // Empty metric tables, then an event table claiming 4 billion
+        // entries in a near-empty payload.
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_u8(T_STATS_RESP);
+        buf.put_u32_le(0);
+        buf.put_u32_le(0);
+        buf.put_u32_le(0);
+        buf.put_u32_le(u32::MAX);
+        let framed = frame(&buf.freeze().to_vec());
+        assert_eq!(
+            Response::decode(&framed),
+            Err(WireError::Malformed("table length exceeds payload"))
+        );
     }
 
     #[test]

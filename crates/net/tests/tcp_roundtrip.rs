@@ -184,9 +184,10 @@ fn malformed_bytes_get_a_typed_error_response() {
 
     let mut raw = TcpStream::connect(addr).expect("connect");
     raw.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
-    // Exactly one header's worth of junk: the server consumes it all
-    // before rejecting, so the close is a clean FIN rather than an RST.
-    raw.write_all(b"XXXX!13bytes!").expect("write");
+    // Exactly one magic+version prefix's worth of junk: the server
+    // consumes it all before rejecting, so the close is a clean FIN
+    // rather than an RST.
+    raw.write_all(b"XXXX!").expect("write");
     // The server answers with an encoded Error response, then closes.
     let mut reply = Vec::new();
     raw.read_to_end(&mut reply).expect("read reply");
@@ -348,7 +349,7 @@ fn protocol_error_kinds_are_counted() {
 
     // 1. Truncation: a valid header promising one payload byte, then FIN.
     let ping = Request::Ping.encode();
-    send(&ping[..orsp_net::wire::HEADER_LEN], false);
+    send(&ping[..orsp_net::wire::HEADER_LEN_V2], false);
 
     // 2. Corrupt CRC: a full Ping frame with the payload byte flipped.
     let mut bad_crc = ping.clone();
@@ -359,15 +360,17 @@ fn protocol_error_kinds_are_counted() {
     // 3. Oversized: the declared length exceeds the 1 MiB payload cap.
     // Header only — the server rejects on the length field and closes
     // without reading a payload, so unsent bytes would become an RST.
-    let mut oversized = ping[..orsp_net::wire::HEADER_LEN].to_vec();
-    oversized[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+    let mut oversized = ping[..orsp_net::wire::HEADER_LEN_V2].to_vec();
+    oversized[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
     send(&oversized, true);
 
     // 4. Unknown tag: a perfectly framed payload with a tag from the future.
     send(&orsp_net::wire::frame(&[0x7F]), true);
 
-    // 5. Bad magic: header-sized junk, classified as "other".
-    send(b"XXXX!13bytes!", true);
+    // 5. Bad magic: prefix-sized junk, classified as "other". (Exactly
+    // the prefix, so the server's reject leaves no unread bytes and the
+    // close is a clean FIN.)
+    send(b"XXXX!", true);
 
     // Wait until all five counters land (workers race our socket closes).
     let mut tries = 0;

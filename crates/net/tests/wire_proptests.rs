@@ -4,9 +4,12 @@
 
 use orsp_client::UploadRequest;
 use orsp_crypto::{BigUint, BlindSignature, BlindedMessage, Token};
-use orsp_net::wire::{decode_frame, frame, HEADER_LEN, MAX_PAYLOAD};
+use orsp_net::wire::{
+    decode_frame, decode_frame_traced, frame, frame_traced, frame_v1, HEADER_LEN,
+    HEADER_LEN_V2, MAX_PAYLOAD, TRACE_CTX_LEN,
+};
 use orsp_net::{Request, Response, SearchHit, WireError};
-use orsp_obs::{HistogramSnapshot, StatsSnapshot};
+use orsp_obs::{EventSnapshot, HistogramSnapshot, StatsSnapshot, TraceContext};
 use orsp_search::SearchQuery;
 use orsp_server::{AggregateParts, EntityAggregate, RejectReason};
 use orsp_types::{
@@ -228,6 +231,15 @@ proptest! {
                     p99: max,
                 })
                 .collect(),
+            events: counter_names
+                .iter()
+                .zip(&counter_vals)
+                .map(|(n, v)| EventSnapshot {
+                    at_micros: *v,
+                    kind: name_of(n),
+                    detail: format!("detail for {}", name_of(n)),
+                })
+                .collect(),
         };
         let response = Response::Stats { snapshot };
         let encoded = response.encode();
@@ -245,6 +257,11 @@ proptest! {
             histograms: vec![HistogramSnapshot {
                 name: "h".into(), count: 1, sum: value, max: value,
                 p50: value, p90: value, p99: value,
+            }],
+            events: vec![EventSnapshot {
+                at_micros: value,
+                kind: "shed".into(),
+                detail: "peer".into(),
             }],
         };
         let encoded = Response::Stats { snapshot }.encode();
@@ -301,7 +318,7 @@ proptest! {
         declared in (MAX_PAYLOAD as u32 + 1)..u32::MAX,
     ) {
         let mut encoded = Request::Ping.encode();
-        encoded[5..9].copy_from_slice(&declared.to_le_bytes());
+        encoded[6..10].copy_from_slice(&declared.to_le_bytes());
         prop_assert_eq!(
             decode_frame(&encoded).unwrap_err(),
             WireError::Oversized { len: declared as usize }
@@ -328,9 +345,69 @@ proptest! {
         payload in proptest::collection::vec(0u8..=255, 0..128),
     ) {
         let framed = frame(&payload);
-        prop_assert_eq!(framed.len(), HEADER_LEN + payload.len());
+        prop_assert_eq!(framed.len(), HEADER_LEN_V2 + payload.len());
         let (decoded, consumed) = decode_frame(&framed).unwrap();
         prop_assert_eq!(decoded, &payload[..]);
         prop_assert_eq!(consumed, framed.len());
+    }
+
+    #[test]
+    fn v1_frames_from_old_peers_decode_on_a_v2_decoder(
+        payload in proptest::collection::vec(0u8..=255, 0..128),
+    ) {
+        // An un-upgraded peer frames without a flags byte or trace
+        // context. The v2 decoder must accept it byte-for-byte and
+        // report "no context" — and every truncation of it must stay a
+        // typed error.
+        let framed = frame_v1(&payload);
+        prop_assert_eq!(framed.len(), HEADER_LEN + payload.len());
+        let (decoded, ctx, consumed) = decode_frame_traced(&framed).unwrap();
+        prop_assert_eq!(decoded, &payload[..]);
+        prop_assert_eq!(ctx, None);
+        prop_assert_eq!(consumed, framed.len());
+        for cut in 0..framed.len() {
+            prop_assert!(decode_frame_traced(&framed[..cut]).is_err(), "cut {}", cut);
+        }
+    }
+
+    #[test]
+    fn untraced_v2_frames_look_contextless_to_the_reader(
+        payload in proptest::collection::vec(0u8..=255, 0..128),
+    ) {
+        // The other direction of the skew: a v2 sender that has nothing
+        // to propagate (tracing off, unsampled request) must be
+        // indistinguishable-in-content from a v1 peer — same payload
+        // out, no context.
+        let framed = frame(&payload);
+        let (decoded, ctx, _) = decode_frame_traced(&framed).unwrap();
+        prop_assert_eq!(decoded, &payload[..]);
+        prop_assert_eq!(ctx, None);
+    }
+
+    #[test]
+    fn traced_frames_round_trip_and_every_truncation_is_typed(
+        payload in proptest::collection::vec(0u8..=255, 0..96),
+        trace_hi in 0u64..u64::MAX,
+        trace_lo in 0u64..u64::MAX,
+        span in 0u64..u64::MAX,
+        sampled in 0u8..2,
+    ) {
+        let ctx = TraceContext {
+            trace_id: (trace_hi as u128) << 64 | trace_lo as u128,
+            span_id: span,
+            sampled: sampled == 1,
+        };
+        let framed = frame_traced(&payload, Some(&ctx));
+        prop_assert_eq!(framed.len(), HEADER_LEN_V2 + TRACE_CTX_LEN + payload.len());
+        let (decoded, got, consumed) = decode_frame_traced(&framed).unwrap();
+        prop_assert_eq!(decoded, &payload[..]);
+        prop_assert_eq!(got, Some(ctx));
+        prop_assert_eq!(consumed, framed.len());
+        // Truncation across the header, the trace block, and the
+        // payload: typed errors at every cut, never a panic, never a
+        // wrong decode.
+        for cut in 0..framed.len() {
+            prop_assert!(decode_frame_traced(&framed[..cut]).is_err(), "cut {}", cut);
+        }
     }
 }

@@ -29,12 +29,14 @@ pub mod metrics;
 pub mod registry;
 pub mod ring;
 pub mod snapshot;
+pub mod trace;
 
 pub use clock::{Clock, LogicalClock, MonotonicClock};
 pub use metrics::{Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
-pub use registry::{Registry, Span, DEFAULT_EVENT_CAPACITY};
+pub use registry::{Registry, Span, DEFAULT_EVENT_CAPACITY, SNAPSHOT_EVENT_LIMIT};
 pub use ring::Event;
-pub use snapshot::{HistogramSnapshot, StatsSnapshot};
+pub use snapshot::{EventSnapshot, HistogramSnapshot, StatsSnapshot};
+pub use trace::{SpanGuard, SpanRecord, TraceContext, TraceRecord, Tracer};
 
 use std::sync::OnceLock;
 

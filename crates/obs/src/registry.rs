@@ -10,13 +10,19 @@
 use crate::clock::{Clock, MonotonicClock};
 use crate::metrics::{Counter, Gauge, Histogram};
 use crate::ring::{Event, EventRing};
-use crate::snapshot::{HistogramSnapshot, StatsSnapshot};
+use crate::snapshot::{EventSnapshot, HistogramSnapshot, StatsSnapshot};
+use crate::trace::Tracer;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Default bound on the structured event ring.
 pub const DEFAULT_EVENT_CAPACITY: usize = 256;
+
+/// Most recent events a [`StatsSnapshot`] carries (the ring holds
+/// [`DEFAULT_EVENT_CAPACITY`]; snapshots export the newest slice so the
+/// wire table stays small).
+pub const SNAPSHOT_EVENT_LIMIT: usize = 64;
 
 #[derive(Default)]
 struct Metrics {
@@ -30,6 +36,7 @@ pub struct Registry {
     metrics: Mutex<Metrics>,
     clock: Arc<dyn Clock>,
     events: EventRing,
+    tracer: Tracer,
     /// Gates span timing and event capture (counter/gauge writes are a
     /// single relaxed atomic and stay on unconditionally). The overhead
     /// bench flips this to measure instrumented vs. bare throughput.
@@ -53,15 +60,22 @@ impl Registry {
     pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
         Registry {
             metrics: Mutex::new(Metrics::default()),
+            tracer: Tracer::with_clock(Arc::clone(&clock)),
             clock,
             events: EventRing::new(DEFAULT_EVENT_CAPACITY),
             enabled: AtomicBool::new(true),
         }
     }
 
-    /// Enable or disable span timing and event capture.
+    /// Enable or disable span timing, event capture, and tracing.
     pub fn set_enabled(&self, on: bool) {
         self.enabled.store(on, Ordering::Relaxed);
+        self.tracer.set_enabled(on);
+    }
+
+    /// The registry's distributed-trace collector (same clock as spans).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Whether spans and events are being captured.
@@ -139,10 +153,22 @@ impl Registry {
     /// A point-in-time snapshot, sorted by name. Counters and histogram
     /// counts are monotonic across successive snapshots.
     pub fn snapshot(&self) -> StatsSnapshot {
+        let recent = self.events.recent();
+        let skip = recent.len().saturating_sub(SNAPSHOT_EVENT_LIMIT);
+        let events = recent
+            .into_iter()
+            .skip(skip)
+            .map(|e| EventSnapshot {
+                at_micros: e.at_micros,
+                kind: e.kind.to_string(),
+                detail: e.detail,
+            })
+            .collect();
         let m = self.metrics.lock().expect("registry poisoned");
         StatsSnapshot {
             counters: m.counters.iter().map(|(n, c)| (n.clone(), c.get())).collect(),
             gauges: m.gauges.iter().map(|(n, g)| (n.clone(), g.get())).collect(),
+            events,
             histograms: m
                 .histograms
                 .iter()

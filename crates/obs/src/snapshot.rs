@@ -37,6 +37,18 @@ impl HistogramSnapshot {
     }
 }
 
+/// One structured event as exported: like [`crate::Event`] but with an
+/// owned kind, so the same shape decodes from the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventSnapshot {
+    /// Registry-clock timestamp (µs).
+    pub at_micros: u64,
+    /// Event kind, e.g. `"shed"` or `"protocol_error"`.
+    pub kind: String,
+    /// Free-form detail.
+    pub detail: String,
+}
+
 /// Everything a registry knows at one instant, sorted by metric name.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct StatsSnapshot {
@@ -46,6 +58,9 @@ pub struct StatsSnapshot {
     pub gauges: Vec<(String, i64)>,
     /// Every histogram, summarized.
     pub histograms: Vec<HistogramSnapshot>,
+    /// The newest structured events, oldest first (bounded; see
+    /// [`crate::SNAPSHOT_EVENT_LIMIT`]).
+    pub events: Vec<EventSnapshot>,
 }
 
 impl StatsSnapshot {
@@ -121,9 +136,42 @@ impl StatsSnapshot {
                 )
             }),
         );
-        out.push_str("}\n}\n");
+        out.push_str("},\n  \"events\": [");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"at_us\": {}, \"kind\": \"{}\", \"detail\": \"{}\"}}",
+                e.at_micros,
+                escape(&e.kind),
+                escape(&e.detail)
+            ));
+        }
+        if !self.events.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
         out
     }
+}
+
+/// Escape a free-form string for JSON (event details are arbitrary —
+/// peer addresses, error messages).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn push_entries<'a>(out: &mut String, entries: impl Iterator<Item = (&'a String, String)>) {
@@ -164,6 +212,11 @@ mod tests {
                 p90: 15,
                 p99: 31,
             }],
+            events: vec![EventSnapshot {
+                at_micros: 12,
+                kind: "shed".into(),
+                detail: "peer \"10.0.0.1:9\"".into(),
+            }],
         }
     }
 
@@ -182,6 +235,8 @@ mod tests {
         let json = sample().render_json();
         assert!(json.contains("\"requests_total\": 42"));
         assert!(json.contains("\"p99\": 31"));
+        // Event details are escaped, not trusted.
+        assert!(json.contains("\"detail\": \"peer \\\"10.0.0.1:9\\\"\""));
         // Balanced braces (no serde_json to parse with; count instead).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
@@ -203,7 +258,7 @@ mod tests {
         assert_eq!(snap.render_prometheus(), "");
         assert_eq!(
             snap.render_json(),
-            "{\n  \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": {}\n}\n"
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": {},\n  \"events\": []\n}\n"
         );
     }
 }

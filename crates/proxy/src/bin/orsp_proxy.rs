@@ -47,7 +47,7 @@ fn main() {
     if backends.is_empty() {
         eprintln!(
             "usage: orsp-proxy [--listen ADDR] --backend ADDR [--backend ADDR ...] \
-             [--pool N] [--cluster-internal]"
+             [--pool N] [--cluster-internal] [--trace-sample PER10K] [--trace-slow-us N]"
         );
         std::process::exit(2);
     }
@@ -57,6 +57,20 @@ fn main() {
         .position(|a| a == "--pool")
         .map(|i| args.get(i + 1).expect("--pool takes a count").parse().expect("--pool count"))
         .unwrap_or(4);
+    // Head-based trace sampling, in traces per 10 000 roots (default 100
+    // = 1%); requests slower than `--trace-slow-us` are sampled anyway.
+    let trace_sample: Option<u32> = args.iter().position(|a| a == "--trace-sample").map(|i| {
+        args.get(i + 1)
+            .expect("--trace-sample takes a per-10k rate")
+            .parse()
+            .expect("--trace-sample rate")
+    });
+    let trace_slow_us: Option<u64> = args.iter().position(|a| a == "--trace-slow-us").map(|i| {
+        args.get(i + 1)
+            .expect("--trace-slow-us takes microseconds")
+            .parse()
+            .expect("--trace-slow-us microseconds")
+    });
 
     let links: Vec<Arc<dyn BackendLink>> = backends
         .iter()
@@ -74,6 +88,23 @@ fn main() {
         links,
         ProxyConfig { cluster_internal, ..ProxyConfig::default() },
     ));
+    // Distinct per-process id streams: the library default seed is fixed
+    // (tests pin ids), but the proxy and its backends must never mint
+    // colliding trace ids or the trace join would fuse unrelated traces.
+    let trace_seed = (std::process::id() as u64) << 32
+        ^ std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+    service.obs().tracer().set_seed(trace_seed);
+    if let Some(rate) = trace_sample {
+        service.obs().tracer().set_sampling(rate);
+        println!("proxy: tracing {rate}/10000 requests");
+    }
+    if let Some(slow) = trace_slow_us {
+        service.obs().tracer().set_slow_threshold_us(slow);
+        println!("proxy: always tracing requests slower than {slow}µs");
+    }
     let server = NetServer::bind(listen.as_str(), service.clone(), ServerConfig::default())
         .expect("bind proxy");
     println!("proxy: listening on {} over {} backends", server.local_addr(), backends.len());

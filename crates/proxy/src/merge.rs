@@ -158,6 +158,13 @@ pub fn namespaced_stats(
                     h.name = format!("backend{i}_{}", h.name);
                     h
                 }));
+                // Events keep their arrival order: local first, then each
+                // backend's — per-process clocks aren't comparable, so
+                // sorting across processes by timestamp would lie.
+                out.events.extend(snap.events.into_iter().map(|mut e| {
+                    e.kind = format!("backend{i}_{}", e.kind);
+                    e
+                }));
             }
             None => out.counters.push((format!("backend{i}_unreachable"), 1)),
         }
@@ -306,11 +313,18 @@ mod tests {
         let b0 = orsp_obs::StatsSnapshot {
             counters: vec![("rpc_total".into(), 2)],
             gauges: vec![("world_users".into(), 10)],
+            events: vec![orsp_obs::EventSnapshot {
+                at_micros: 5,
+                kind: "shed".into(),
+                detail: "conn".into(),
+            }],
             ..Default::default()
         };
         let merged = namespaced_stats(local, vec![(0, Some(b0)), (1, None)]);
         assert_eq!(merged.counter("backend0_rpc_total"), Some(2));
         assert_eq!(merged.gauge("backend0_world_users"), Some(10));
+        assert_eq!(merged.events.len(), 1);
+        assert_eq!(merged.events[0].kind, "backend0_shed", "event kinds are namespaced");
         assert_eq!(merged.counter("backend1_unreachable"), Some(1));
         assert_eq!(merged.counter("proxy_requests_total"), Some(4));
         let names: Vec<_> = merged.counters.iter().map(|(n, _)| n.clone()).collect();

@@ -28,8 +28,8 @@
 //!   [`crate::merge::namespaced_stats`].
 
 use crate::merge::{self, MergeError};
-use orsp_net::{CallTrace, FrameService, NetError, NetPool, Request, Response};
-use orsp_obs::{Counter, Histogram, Registry};
+use orsp_net::{CallTrace, FrameService, NetError, NetPool, Request, Response, RetryStats};
+use orsp_obs::{trace, Counter, Histogram, Registry, TraceContext};
 use orsp_server::shard_index;
 use orsp_types::{DeviceId, EntityId, RecordId};
 use std::fmt;
@@ -52,6 +52,10 @@ pub struct ProxyConfig {
     pub cluster_internal: bool,
 }
 
+/// Most of the proxy's *own* completed traces one `Traces` RPC drains
+/// (each backend applies its own identical bound server-side).
+const TRACES_RPC_LIMIT: usize = 16;
+
 impl Default for ProxyConfig {
     fn default() -> Self {
         ProxyConfig {
@@ -65,19 +69,38 @@ impl Default for ProxyConfig {
 /// implementation; tests plug in in-process fakes to exercise failure
 /// paths no honest TCP backend would produce.
 pub trait BackendLink: Send + Sync {
-    /// Send one request, with per-call retry accounting.
-    fn call(&self, request: &Request) -> Result<(Response, CallTrace), NetError>;
+    /// Send one request, with per-call retry accounting. `ctx` is the
+    /// distributed-trace context to stamp on the frame (None when the
+    /// incoming request is untraced).
+    fn call(
+        &self,
+        request: &Request,
+        ctx: Option<TraceContext>,
+    ) -> Result<(Response, CallTrace), NetError>;
     /// Human-readable identity (address) for logs and errors.
     fn label(&self) -> String;
+    /// Cumulative client-side retry/backoff accounting for this link, if
+    /// the implementation keeps any (a `NetPool` does; fakes need not).
+    fn retry_stats(&self) -> Option<RetryStats> {
+        None
+    }
 }
 
 impl BackendLink for NetPool {
-    fn call(&self, request: &Request) -> Result<(Response, CallTrace), NetError> {
-        self.call_traced(request)
+    fn call(
+        &self,
+        request: &Request,
+        ctx: Option<TraceContext>,
+    ) -> Result<(Response, CallTrace), NetError> {
+        self.call_traced_with(request, ctx)
     }
 
     fn label(&self) -> String {
         self.addr().to_string()
+    }
+
+    fn retry_stats(&self) -> Option<RetryStats> {
+        Some(NetPool::retry_stats(self))
     }
 }
 
@@ -138,6 +161,7 @@ struct ProxyMetrics {
     fanout_aggregate_parts_us: Histogram,
     fanout_search_us: Histogram,
     fanout_stats_us: Histogram,
+    fanout_traces_us: Histogram,
     route_issue_us: Histogram,
     route_upload_us: Histogram,
 }
@@ -162,6 +186,7 @@ impl ProxyMetrics {
             fanout_aggregate_parts_us: obs.histogram("proxy_fanout_aggregate_parts_us"),
             fanout_search_us: obs.histogram("proxy_fanout_search_us"),
             fanout_stats_us: obs.histogram("proxy_fanout_stats_us"),
+            fanout_traces_us: obs.histogram("proxy_fanout_traces_us"),
             route_issue_us: obs.histogram("proxy_route_issue_us"),
             route_upload_us: obs.histogram("proxy_route_upload_us"),
         }
@@ -181,6 +206,7 @@ impl ProxyService {
     pub fn new(backends: Vec<Arc<dyn BackendLink>>, config: ProxyConfig) -> ProxyService {
         assert!(!backends.is_empty(), "a proxy needs at least one backend");
         let obs = Arc::new(Registry::new());
+        obs.tracer().set_process("proxy");
         let metrics = ProxyMetrics::new(&obs, backends.len());
         ProxyService { backends, config, obs, metrics }
     }
@@ -211,11 +237,44 @@ impl ProxyService {
         shard_index(&key, self.backends.len())
     }
 
-    /// One routed call, with per-backend outcome accounting.
+    /// One routed call, with per-backend outcome accounting, inside a
+    /// `backend_call` trace span (a no-op when the request is untraced).
+    /// The span's own context is what gets stamped on the wire, so the
+    /// backend's `server/<kind>` span parents under the call, not under
+    /// the whole proxy RPC.
     fn call_backend(&self, i: usize, request: &Request) -> Result<Response, ProxyError> {
+        let guard = self.obs.tracer().child_of(trace::current(), "backend_call");
+        let ctx = guard.context().or_else(trace::current);
+        let result = self.call_backend_raw(i, request, ctx);
+        guard.end();
+        result
+    }
+
+    /// [`Self::call_backend`] with an explicit parent context — for the
+    /// scatter threads, where the dispatch thread's ambient trace does
+    /// not follow.
+    fn call_backend_from(
+        &self,
+        i: usize,
+        request: &Request,
+        parent: Option<TraceContext>,
+    ) -> Result<Response, ProxyError> {
+        let guard = self.obs.tracer().child_of(parent, "backend_call");
+        let ctx = guard.context().or(parent);
+        let result = self.call_backend_raw(i, request, ctx);
+        guard.end();
+        result
+    }
+
+    fn call_backend_raw(
+        &self,
+        i: usize,
+        request: &Request,
+        ctx: Option<TraceContext>,
+    ) -> Result<Response, ProxyError> {
         let counters = &self.metrics.backends[i];
         counters.forwarded.inc();
-        match self.backends[i].call(request) {
+        match self.backends[i].call(request, ctx) {
             Ok((Response::Busy, _)) => {
                 // A fake or a proxy-of-proxies can hand back `Busy` as a
                 // value; a `NetPool` retries it internally and surfaces
@@ -240,14 +299,18 @@ impl ProxyService {
         }
     }
 
-    /// Fan one request out to every backend concurrently.
+    /// Fan one request out to every backend concurrently. The dispatch
+    /// thread's trace context is captured *before* the scope — scoped
+    /// threads don't inherit thread-locals, so each leg re-parents its
+    /// `backend_call` span explicitly.
     fn scatter(&self, request: &Request) -> Vec<Result<Response, ProxyError>> {
         if self.backends.len() == 1 {
             return vec![self.call_backend(0, request)];
         }
+        let parent = trace::current();
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.backends.len())
-                .map(|i| scope.spawn(move || self.call_backend(i, request)))
+                .map(|i| scope.spawn(move || self.call_backend_from(i, request, parent)))
                 .collect();
             handles.into_iter().map(|h| h.join().expect("backend fan-out thread")).collect()
         })
@@ -361,6 +424,7 @@ impl ProxyService {
                 }
             }
         }
+        let merge_span = trace::child("proxy_merge");
         let mut hits = merge::search_consensus(&lists)?;
         // Scores, order, and histograms are world-determined and already
         // agreed on; only the anonymous-history support fields come from
@@ -382,6 +446,7 @@ impl ProxyService {
                 }
             }
         }
+        merge_span.end();
         span.end();
         Ok(Response::SearchResults { hits })
     }
@@ -416,8 +481,55 @@ impl ProxyService {
             })
             .collect();
         // Snapshot the local registry *after* the fan-out so the counters
-        // this very request incremented are visible in its answer.
-        Response::Stats { snapshot: merge::namespaced_stats(self.obs.snapshot(), backends) }
+        // this very request incremented are visible in its answer, then
+        // fold in each link's client-side retry accounting — the view
+        // from the proxy's side of the wire, complementing the backends'
+        // own server-side counters.
+        let mut local = self.obs.snapshot();
+        for (i, link) in self.backends.iter().enumerate() {
+            if let Some(rs) = link.retry_stats() {
+                local.counters.extend([
+                    (format!("proxy_backend{i}_client_attempts_total"), rs.attempts),
+                    (format!("proxy_backend{i}_client_busy_total"), rs.busy),
+                    (format!("proxy_backend{i}_client_timeouts_total"), rs.timeouts),
+                    (format!("proxy_backend{i}_client_disconnects_total"), rs.disconnects),
+                    (format!("proxy_backend{i}_client_backoff_us_total"), rs.backoff_us),
+                    (format!("proxy_backend{i}_client_exhausted_total"), rs.exhausted),
+                    (
+                        format!("proxy_backend{i}_client_stale_reconnects_total"),
+                        rs.stale_reconnects,
+                    ),
+                ]);
+            }
+        }
+        local.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        Response::Stats { snapshot: merge::namespaced_stats(local, backends) }
+    }
+
+    /// Drain completed sampled traces: the proxy's own, joined with each
+    /// backend's parts of the same traces. Backend spans come back
+    /// labelled with the generic `server` process; retag them by backend
+    /// index so one trace tree tells the legs apart. A backend that
+    /// cannot answer just contributes no spans — trace polling degrades
+    /// partially, like `Stats`.
+    fn do_traces(&self) -> Response {
+        let span = self.obs.span_into(&self.metrics.fanout_traces_us);
+        let mut traces = self.obs.tracer().drain_completed(TRACES_RPC_LIMIT);
+        let gathered = self.scatter(&Request::Traces);
+        span.end();
+        for (i, result) in gathered.into_iter().enumerate() {
+            if let Ok(Response::Traces { traces: remote }) = result {
+                for mut trace_record in remote {
+                    for s in &mut trace_record.spans {
+                        if s.process == "server" {
+                            s.process = format!("backend{i}");
+                        }
+                    }
+                    traces.push(trace_record);
+                }
+            }
+        }
+        Response::Traces { traces: orsp_obs::trace::merge_traces(traces) }
     }
 
     fn dispatch(&self, request: Request) -> Result<Response, ProxyError> {
@@ -455,13 +567,34 @@ impl ProxyService {
             }
             Request::Search { query } => self.do_search(query),
             Request::Stats => Ok(self.do_stats()),
+            Request::Traces => Ok(self.do_traces()),
         }
     }
 
     /// Handle one request (the [`FrameService`] entry point).
     pub fn handle(&self, request: Request) -> Response {
+        self.handle_traced(request, None)
+    }
+
+    /// [`Self::handle`] continuing the caller's distributed trace: the
+    /// whole proxy RPC becomes a `proxy/<kind>` span (or a new sampled
+    /// root when the client sent no context), and every backend call
+    /// under it carries the trace onto the wire.
+    pub fn handle_traced(&self, request: Request, ctx: Option<TraceContext>) -> Response {
         self.metrics.requests.inc();
-        match self.dispatch(request) {
+        let name = match &request {
+            Request::Ping => "proxy/ping",
+            Request::IssueToken { .. } => "proxy/issue_token",
+            Request::Upload { .. } => "proxy/upload",
+            Request::FetchAggregate { .. } => "proxy/fetch_aggregate",
+            Request::Search { .. } => "proxy/search",
+            Request::Stats => "proxy/stats",
+            Request::Traces => "proxy/traces",
+            Request::AggregateParts { .. } => "proxy/aggregate_parts",
+            Request::AggregatePartsBatch { .. } => "proxy/aggregate_parts_batch",
+        };
+        let root = self.obs.tracer().root_or_remote(ctx, name);
+        let response = match self.dispatch(request) {
             Ok(response) => response,
             Err(ProxyError::Unavailable { .. }) => {
                 self.metrics.unavailable.inc();
@@ -471,13 +604,15 @@ impl ProxyService {
                 self.metrics.inconsistent.inc();
                 Response::Error { detail: error.to_string() }
             }
-        }
+        };
+        root.end();
+        response
     }
 }
 
 impl FrameService for ProxyService {
-    fn handle(&self, request: Request) -> Response {
-        ProxyService::handle(self, request)
+    fn handle_traced(&self, request: Request, ctx: Option<TraceContext>) -> Response {
+        ProxyService::handle_traced(self, request, ctx)
     }
 
     fn obs(&self) -> &Arc<Registry> {
@@ -514,7 +649,11 @@ mod tests {
     }
 
     impl BackendLink for Fake {
-        fn call(&self, request: &Request) -> Result<(Response, CallTrace), NetError> {
+        fn call(
+            &self,
+            request: &Request,
+            _ctx: Option<TraceContext>,
+        ) -> Result<(Response, CallTrace), NetError> {
             self.calls.fetch_add(1, Ordering::Relaxed);
             (self.respond)(request)
         }

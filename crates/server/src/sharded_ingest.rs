@@ -275,6 +275,11 @@ impl ShardedIngest {
             return IngestOutcome::Rejected(RejectReason::BadToken);
         }
 
+        // Trace the shard handoff (ledger spend + store append + WAL
+        // enqueue) as one span; the durability wait below is a sibling.
+        // A no-op unless this thread is inside a sampled trace.
+        let ingest_span = orsp_obs::trace::child("ingest_shard");
+
         let key = upload.token.ledger_key();
         {
             let _rank = lockorder::enter(rank::LEDGER_SHARD);
@@ -321,6 +326,7 @@ impl ShardedIngest {
                         };
                         drop(store);
                         drop(rank_store);
+                        ingest_span.end();
                         match self.await_durable(shard, &*sink, config, ticket) {
                             Ok(()) => IngestOutcome::Accepted,
                             Err(e) => IngestOutcome::AcceptedNotDurable(e),
@@ -363,6 +369,9 @@ impl ShardedIngest {
         config: GroupCommitConfig,
         ticket: u64,
     ) -> orsp_types::Result<()> {
+        // Covers the whole durability wait, leader or follower; the
+        // leader opens `group_commit_lead`/`wal_fsync` children inside.
+        let _wait_span = orsp_obs::trace::child("group_commit_wait");
         let mut bids_lost = 0u32;
         let _commit = loop {
             {
@@ -403,6 +412,7 @@ impl ShardedIngest {
                 };
             }
         }
+        let _lead_span = orsp_obs::trace::child("group_commit_lead");
         // This thread is the leader. Optionally hold the first batch
         // open so concurrent uploaders can join it — but adaptively:
         // poll the queue and sync as soon as arrivals dry up or the
@@ -439,7 +449,9 @@ impl ShardedIngest {
                 (first, batch)
             };
             let last = first + batch.len() as u64 - 1;
+            let fsync_span = orsp_obs::trace::child("wal_fsync");
             let result = sink.log_upload_batch(&batch);
+            fsync_span.end();
             {
                 let _rank_q = lockorder::enter(rank::GROUP_QUEUE);
                 let mut q = shard.queue.lock();

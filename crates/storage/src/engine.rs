@@ -463,7 +463,11 @@ impl StorageEngine {
                 guard.writer.append_encoded(&buf, framed)?;
                 self.metrics.bytes_appended.add(buf.len() as u64);
                 if self.opts.fsync == FsyncPolicy::Always {
+                    // The disk flush itself, distinct from the group
+                    // commit machinery above it in the trace.
+                    let fsync_span = orsp_obs::trace::child("storage_fsync");
                     guard.writer.sync()?;
+                    fsync_span.end();
                     self.metrics.fsyncs.inc();
                 }
                 if guard.writer.bytes() >= self.opts.max_segment_bytes {

@@ -111,6 +111,26 @@ fn main() {
         .position(|a| a == "--listen")
         .map(|i| args.get(i + 1).expect("--listen takes an address").clone());
     let listen = fixed_listen.clone().unwrap_or_else(|| "127.0.0.1:0".to_string());
+    // Head-based trace sampling, in traces per 10 000 roots (default 100
+    // = 1%); slow requests past `--trace-slow-us` are sampled regardless.
+    let trace_sample: Option<u32> = args
+        .iter()
+        .position(|a| a == "--trace-sample")
+        .map(|i| {
+            args.get(i + 1)
+                .expect("--trace-sample takes a per-10k rate")
+                .parse()
+                .expect("--trace-sample rate")
+        });
+    let trace_slow_us: Option<u64> = args
+        .iter()
+        .position(|a| a == "--trace-slow-us")
+        .map(|i| {
+            args.get(i + 1)
+                .expect("--trace-slow-us takes microseconds")
+                .parse()
+                .expect("--trace-slow-us microseconds")
+        });
 
     // 1. A synthetic city.
     let config = WorldConfig {
@@ -183,6 +203,23 @@ fn main() {
             Arc::clone(engine) as Arc<dyn WalSink>,
             GroupCommitConfig { batch_max: group_commit.max(1), window_us: group_commit_window_us },
         );
+    }
+    // Distinct per-process id streams: the library default seed is fixed
+    // (tests pin ids), but two daemons must never mint colliding trace
+    // ids or the proxy's trace join would fuse unrelated traces.
+    let trace_seed = (std::process::id() as u64) << 32
+        ^ std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+    service.obs().tracer().set_seed(trace_seed);
+    if let Some(rate) = trace_sample {
+        service.obs().tracer().set_sampling(rate);
+        println!("tracing: sampling {rate}/10000 requests");
+    }
+    if let Some(slow) = trace_slow_us {
+        service.obs().tracer().set_slow_threshold_us(slow);
+        println!("tracing: always sampling requests slower than {slow}µs");
     }
     println!(
         "service: {} ingest shards, group commit <= {} records/fsync",

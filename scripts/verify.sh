@@ -37,6 +37,9 @@ echo "== proxy test suites (merge rules, routing/failure semantics, 3-backend di
 cargo test -q --release -p orsp-proxy
 cargo test -q --release -p orsp-proxy --test proxy_end_to_end
 
+echo "== trace causality (proxy + 2 backends over TCP: one connected span tree, proxy root to wal_fsync) =="
+cargo test -q --release -p orsp-proxy --test trace_end_to_end
+
 echo "== reshard 2->4 round trip (digest-verified, source untouched) =="
 cargo test -q --release -p orsp-storage --lib reshard
 
@@ -54,6 +57,11 @@ echo "== recorded obs overhead stays under the 3% gate =="
 # (regenerate with: cargo run --release -p orsp-bench --bin obs_overhead).
 test -f results/BENCH_obs_overhead.json
 grep -q '"overhead_below_3pct": true' results/BENCH_obs_overhead.json
+
+echo "== recorded trace overhead stays under the 3% gate at 1% sampling =="
+# (regenerate with: cargo run --release -p orsp-bench --bin trace_overhead)
+test -f results/BENCH_trace_overhead.json
+grep -q '"one_pct_overhead_below_3pct": true' results/BENCH_trace_overhead.json
 
 echo "== recorded service-contention result exists with an overlapping upload stream =="
 # (regenerate with: cargo run --release -p orsp-bench --bin service_contention)

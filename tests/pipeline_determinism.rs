@@ -26,8 +26,18 @@ fn run_with_threads(world: &World, threads: usize) -> PipelineOutcome {
     RspPipeline::new(PipelineConfig { threads, ..PipelineConfig::default() }).run(world)
 }
 
+/// Arm the tracing layer at the firehose rate before every run below:
+/// instrumentation is write-only (DESIGN §7), so the digests this file
+/// pins must not move with span collection switched fully on.
+fn arm_tracing() {
+    let tracer = orsp_obs::global().tracer();
+    tracer.set_seed(1);
+    tracer.set_sampling(10_000);
+}
+
 #[test]
 fn outcome_identical_across_thread_counts() {
+    arm_tracing();
     let world = test_world();
     let baseline = run_with_threads(&world, 1);
     let baseline_digest = outcome_digest(&baseline);
@@ -80,6 +90,7 @@ fn outcome_identical_across_thread_counts() {
 
 #[test]
 fn auto_thread_count_matches_single_thread() {
+    arm_tracing();
     // threads = 0 resolves to the machine's core count — whatever that
     // is, the result must equal the single-threaded run.
     let world = test_world();
@@ -90,6 +101,7 @@ fn auto_thread_count_matches_single_thread() {
 
 #[test]
 fn repeated_runs_are_stable() {
+    arm_tracing();
     // Same thread count twice: guards against any residual use of global
     // or time-seeded state inside the parallel stages.
     let world = test_world();
@@ -100,6 +112,7 @@ fn repeated_runs_are_stable() {
 
 #[test]
 fn durability_changes_nothing_at_any_thread_count() {
+    arm_tracing();
     // Durable logging is write-only with respect to the pipeline: with a
     // storage engine attached, the outcome digest stays bit-identical to
     // the undecorated baseline at 1, 2, and 8 threads — and the log the
