@@ -236,6 +236,12 @@ impl NetClient {
             let mut before_any_byte = false;
             let failure = match self.call_once(&frame) {
                 Ok(Some(Response::Busy)) => NetError::Busy,
+                // A typed unavailability report is a fail-fast: the range
+                // is dead or demoted, retrying into it with backoff would
+                // only burn the budget `Busy` retries are reserved for.
+                Ok(Some(Response::Unavailable { detail })) => {
+                    return Err(NetError::Unavailable(detail))
+                }
                 Ok(Some(response)) => return Ok((response, trace)),
                 // Close before any response byte: the peer never started
                 // answering this request.
@@ -603,6 +609,30 @@ mod tests {
         let _ = TcpStream::connect(addr);
         let _ = TcpStream::connect(addr);
         let _ = TcpStream::connect(addr);
+        server.join().expect("server");
+    }
+
+    #[test]
+    fn unavailable_fails_fast_without_burning_retries() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().expect("accept");
+            let _ = read_message(&mut s).expect("read").expect("frame");
+            let resp = Response::Unavailable { detail: "range 2 down".into() };
+            write_message(&mut s, &resp.encode()).expect("write");
+        });
+        let config = ClientConfig {
+            max_retries: 3,
+            backoff_base: Duration::from_millis(50),
+            ..ClientConfig::default()
+        };
+        let mut client = NetClient::connect(addr, config).expect("connect");
+        let err = client.call(&Request::Ping).expect_err("must fail fast");
+        assert_eq!(err, NetError::Unavailable("range 2 down".into()));
+        let stats = client.retry_stats();
+        assert_eq!(stats.attempts, 1, "no retry attempted");
+        assert_eq!(stats.backoff_us, 0, "no backoff slept");
         server.join().expect("server");
     }
 

@@ -69,6 +69,12 @@ pub enum NetError {
     Timeout,
     /// The server shed this request under load and retries are exhausted.
     Busy,
+    /// The peer answered that it cannot serve this request at all right
+    /// now — a dead or demoted backend behind a proxy, not transient
+    /// load. Deliberately *not* retryable: unlike [`NetError::Busy`],
+    /// backing off and resending the same request would burn the
+    /// client's retry budget on a range that won't recover soon.
+    Unavailable(String),
     /// The connection closed mid-exchange.
     Closed,
     /// The peer answered with a response the caller cannot use (wrong
@@ -108,6 +114,7 @@ impl fmt::Display for NetError {
             NetError::Io(kind, msg) => write!(f, "io error ({kind:?}): {msg}"),
             NetError::Timeout => write!(f, "deadline exceeded"),
             NetError::Busy => write!(f, "server busy (load shed)"),
+            NetError::Unavailable(what) => write!(f, "unavailable: {what}"),
             NetError::Closed => write!(f, "connection closed"),
             NetError::Unexpected(what) => write!(f, "unexpected response: {what}"),
         }
@@ -143,5 +150,8 @@ mod tests {
         assert!(NetError::Closed.is_retryable());
         assert!(!NetError::Wire(WireError::BadVersion(9)).is_retryable());
         assert!(!NetError::Unexpected("pong".into()).is_retryable());
+        // A dead/demoted backend is not a transient condition: retrying
+        // into it is exactly the misbehavior Unavailable exists to stop.
+        assert!(!NetError::Unavailable("range 2".into()).is_retryable());
     }
 }

@@ -35,7 +35,7 @@ pub mod wire;
 
 pub use client::{CallTrace, ClientConfig, NetClient, NetPool, RetryStats, TcpTransport};
 pub use error::{NetError, WireError};
-pub use router::{RspService, ServiceConfig};
+pub use router::{ReplicaHook, ReplicateOutcome, RspService, ServiceConfig};
 pub use server::{FrameService, NetServer, ServerConfig, ServerStats};
 pub use transport::{InMemoryTransport, RemoteIssuer, Transport};
-pub use wire::{Request, Response, SearchHit};
+pub use wire::{CatchRecord, Request, Response, SearchHit};

@@ -43,9 +43,9 @@ use orsp_server::{
     lockorder::{self, rank},
     AggregateParts, AggregatePublisher, EntityAggregate, GroupCommitConfig, IngestOutcome,
     IngestService,
-    IngestStats, RejectReason, ShardedIngest, WalSink, MIN_AGGREGATE_SUPPORT,
+    IngestStats, RejectReason, ShardedIngest, WalBatchItem, WalSink, MIN_AGGREGATE_SUPPORT,
 };
-use orsp_types::{EntityId, StarHistogram};
+use orsp_types::{EntityId, RecordId, StarHistogram};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -79,6 +79,57 @@ impl Default for ServiceConfig {
     }
 }
 
+/// How a [`ReplicaHook`] answered a cluster-internal `Replicate` batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplicateOutcome {
+    /// The batch (or promotion) was durably applied.
+    Applied {
+        /// The hook's epoch for the range after applying.
+        epoch: u64,
+        /// Entries applied from this batch.
+        applied: u64,
+        /// The node just became primary for the range — the router
+        /// republishes aggregates so the absorbed range is servable.
+        promoted: bool,
+    },
+    /// Refused: the hook holds a strictly higher epoch for the range.
+    /// The fencing signal a stale rejoining primary demotes itself on.
+    Stale {
+        /// The hook's current epoch.
+        current: u64,
+    },
+    /// The hook could not apply the batch (I/O failure on the range's
+    /// engine). Surfaced as a `Response::Error`, never swallowed.
+    Failed(String),
+}
+
+/// Replication integration points, implemented by `orsp-replica`'s node
+/// runtime and attached via [`RspService::set_replica`]. The router owns
+/// dispatch and the ingest domain; the hook owns per-range epochs,
+/// follower engines, and the catch-up scanner — it receives the ingest
+/// domain by reference at call time so promotion can fold a followed
+/// range's records into the serving store.
+pub trait ReplicaHook: Send + Sync {
+    /// Gate the public upload path: refuse writes for a range this node
+    /// no longer serves as primary (demoted after a fenced rejoin),
+    /// *before* the token is spent. `Err` carries the refusal to send.
+    fn pre_upload(&self, record_id: &RecordId) -> Result<(), Response>;
+
+    /// Apply one cluster-internal `Replicate` batch (or promotion).
+    fn apply_replicate(
+        &self,
+        ingest: &ShardedIngest,
+        range: u32,
+        epoch: u64,
+        promote: bool,
+        items: &[WalBatchItem],
+    ) -> ReplicateOutcome;
+
+    /// Serve one chunk of a `CatchUp` stream for a range this node
+    /// holds (as primary or follower — the reply says which).
+    fn serve_catch_up(&self, ingest: &ShardedIngest, range: u32, cursor: u64) -> Response;
+}
+
 /// The read domain: everything search needs, immutable behind one `Arc`.
 /// Queries run against whichever snapshot they grabbed; publishing new
 /// inferences builds the next snapshot and swaps the cell.
@@ -109,6 +160,8 @@ struct RouterMetrics {
     rpc_traces_us: Histogram,
     rpc_aggregate_parts_us: Histogram,
     rpc_aggregate_parts_batch_us: Histogram,
+    rpc_replicate_us: Histogram,
+    rpc_catch_up_us: Histogram,
     mint_issued_total: Counter,
     mint_denied_total: Counter,
     ingest_accepted_total: Counter,
@@ -131,6 +184,8 @@ impl RouterMetrics {
             rpc_traces_us: obs.histogram("rpc_traces_us"),
             rpc_aggregate_parts_us: obs.histogram("rpc_aggregate_parts_us"),
             rpc_aggregate_parts_batch_us: obs.histogram("rpc_aggregate_parts_batch_us"),
+            rpc_replicate_us: obs.histogram("rpc_replicate_us"),
+            rpc_catch_up_us: obs.histogram("rpc_catch_up_us"),
             mint_issued_total: obs.counter("mint_issued_total"),
             mint_denied_total: obs.counter("mint_denied_total"),
             ingest_accepted_total: obs.counter("ingest_accepted_total"),
@@ -165,6 +220,9 @@ pub struct RspService {
     read: Mutex<Arc<ReadState>>,
     /// Ingest domain: sharded admission, per-shard WAL-order handoff.
     ingest: ShardedIngest,
+    /// Replication integration, when an `orsp-replica` runtime is
+    /// attached: cell-locked only long enough to clone the `Arc`.
+    replica: Mutex<Option<Arc<dyn ReplicaHook>>>,
     config: ServiceConfig,
     obs: Arc<Registry>,
     metrics: RouterMetrics,
@@ -210,10 +268,22 @@ impl RspService {
                 aggregates: HashMap::new(),
             })),
             ingest: ShardedIngest::from_service(ingest, config.ingest_shards),
+            replica: Mutex::new(None),
             config,
             obs,
             metrics,
         }
+    }
+
+    /// Attach a replication runtime: the upload path gains the demoted-
+    /// range gate and the cluster-internal `Replicate`/`CatchUp` RPCs
+    /// start being served instead of refused.
+    pub fn set_replica(&self, hook: Arc<dyn ReplicaHook>) {
+        *self.replica.lock() = Some(hook);
+    }
+
+    fn replica_hook(&self) -> Option<Arc<dyn ReplicaHook>> {
+        self.replica.lock().clone()
     }
 
     /// Grab the current read-domain snapshot (one brief cell lock, then
@@ -342,6 +412,8 @@ impl RspService {
             Request::AggregatePartsBatch { .. } => {
                 (&self.metrics.rpc_aggregate_parts_batch_us, "server/aggregate_parts_batch")
             }
+            Request::Replicate { .. } => (&self.metrics.rpc_replicate_us, "server/replicate"),
+            Request::CatchUp { .. } => (&self.metrics.rpc_catch_up_us, "server/catch_up"),
         };
         let span = self.obs.span_into(hist);
         let trace_span = self.obs.tracer().root_or_remote(ctx, name);
@@ -375,6 +447,14 @@ impl RspService {
                 Response::TokenIssued { signature }
             }
             Request::Upload { upload, now: _ } => {
+                // A demoted range refuses writes *before* the token is
+                // spent — a client hitting a fenced stale primary loses
+                // nothing and retries against the current one.
+                if let Some(hook) = self.replica_hook() {
+                    if let Err(refusal) = hook.pre_upload(&upload.record_id) {
+                        return refusal;
+                    }
+                }
                 // No lock for the signature check (pure RSA against the
                 // cached key), then the ingest domain routes to the
                 // token's ledger shard and the record's store shard.
@@ -484,6 +564,31 @@ impl RspService {
                         .map(|entity| snapshot.aggregates.get(entity).cloned())
                         .collect(),
                 }
+            }
+            Request::Replicate { range, epoch, promote, items } => {
+                let Some(hook) = self.replica_hook() else {
+                    return Response::Error { detail: "replication not enabled".into() };
+                };
+                match hook.apply_replicate(&self.ingest, range, epoch, promote, &items) {
+                    ReplicateOutcome::Applied { epoch, applied, promoted } => {
+                        if promoted {
+                            // The hook folded the followed range into the
+                            // ingest domain; republish so reads serve it.
+                            self.publish_aggregates();
+                        }
+                        Response::ReplicateAck { epoch, applied }
+                    }
+                    ReplicateOutcome::Stale { current } => {
+                        Response::StaleEpoch { range, current }
+                    }
+                    ReplicateOutcome::Failed(detail) => Response::Error { detail },
+                }
+            }
+            Request::CatchUp { range, cursor } => {
+                let Some(hook) = self.replica_hook() else {
+                    return Response::Error { detail: "replication not enabled".into() };
+                };
+                hook.serve_catch_up(&self.ingest, range, cursor)
             }
         }
     }

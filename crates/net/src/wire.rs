@@ -26,7 +26,7 @@ use orsp_obs::{
     EventSnapshot, HistogramSnapshot, SpanRecord, StatsSnapshot, TraceContext, TraceRecord,
 };
 use orsp_search::SearchQuery;
-use orsp_server::{crc32, AggregateParts, EntityAggregate, RejectReason};
+use orsp_server::{crc32, AggregateParts, EntityAggregate, RejectReason, WalBatchItem, WalEntry};
 use orsp_types::{
     Category, DeviceId, EntityId, Interaction, InteractionKind, RecordId, SimDuration,
     StarHistogram, Timestamp,
@@ -288,6 +288,37 @@ pub enum Request {
     /// Against a proxy, the answer merges the proxy's own spans with
     /// every backend's into stitched cross-process trees.
     Traces,
+    /// Cluster-internal: a range primary forwarding a batch of accepted
+    /// writes (history entries plus their spent-token keys) to a
+    /// follower of `range` at `epoch`. The follower appends the batch
+    /// through its group-commit path (one fsync) and answers
+    /// [`Response::ReplicateAck`] — or [`Response::StaleEpoch`] if it
+    /// has already adopted a higher epoch for the range, which tells a
+    /// rejoining stale primary to demote itself. With `promote` set the
+    /// sender is the proxy electing this node primary for `range` at
+    /// the (bumped) `epoch`; `items` is empty in that case.
+    Replicate {
+        /// The hash range the batch belongs to.
+        range: u32,
+        /// The sender's replication epoch for the range.
+        epoch: u64,
+        /// Promotion marker: adopt `epoch` and start serving `range`.
+        promote: bool,
+        /// The accepted writes, in admission order.
+        items: Vec<WalBatchItem>,
+    },
+    /// Cluster-internal: pull one chunk of `range`'s authoritative
+    /// state from its primary, for anti-entropy catch-up. `cursor` is
+    /// an opaque resume position (0 starts a scan); the reply is a
+    /// [`Response::CatchUpChunk`] whose final chunk carries the
+    /// primary's `state_digest` so the follower can prove its rebuilt
+    /// state bit-identical.
+    CatchUp {
+        /// The hash range to stream.
+        range: u32,
+        /// Resume position from the previous chunk (0 = start).
+        cursor: u64,
+    },
 }
 
 /// A server-to-client response.
@@ -358,6 +389,65 @@ pub enum Response {
         /// The drained traces, spans sorted by start time.
         traces: Vec<TraceRecord>,
     },
+    /// Cluster-internal: a follower durably applied a
+    /// [`Request::Replicate`] batch.
+    ReplicateAck {
+        /// The follower's (possibly just-adopted) epoch for the range.
+        epoch: u64,
+        /// Entries applied from this batch.
+        applied: u64,
+    },
+    /// Cluster-internal: a [`Request::Replicate`] was refused because
+    /// the receiver has adopted a higher epoch for the range. The
+    /// fencing signal — a stale primary receiving this demotes itself.
+    StaleEpoch {
+        /// The range the refused batch was for.
+        range: u32,
+        /// The epoch the receiver holds; strictly greater than the
+        /// sender's.
+        current: u64,
+    },
+    /// Cluster-internal: one chunk of a [`Request::CatchUp`] stream.
+    CatchUpChunk {
+        /// The primary's replication epoch for the range.
+        epoch: u64,
+        /// Whether the answering node currently serves the range as
+        /// primary — lets a restarting node probe its peers' roles.
+        primary: bool,
+        /// Final chunk: the stream is complete and `digest` is valid.
+        done: bool,
+        /// On the final chunk, the primary's `state_digest` over the
+        /// range (epoch-free, so replicas at different fencing epochs
+        /// still compare equal). Zero on non-final chunks.
+        digest: u32,
+        /// Cursor to pass in the next [`Request::CatchUp`].
+        next_cursor: u64,
+        /// Full histories, in sorted record-id order.
+        records: Vec<CatchRecord>,
+        /// Spent-token ledger keys, in sorted order, streamed after all
+        /// records.
+        tokens: Vec<[u8; 32]>,
+    },
+    /// The peer cannot serve this request at all right now — a dead or
+    /// demoted backend, not transient load. Unlike [`Response::Busy`],
+    /// clients fail fast instead of burning retry/backoff budget.
+    Unavailable {
+        /// What is unavailable.
+        detail: String,
+    },
+}
+
+/// One full history in a [`Response::CatchUpChunk`]: the checkpoint's
+/// record layout (id, entity, interactions in append order) so the
+/// follower can replay it through the normal engine append path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatchRecord {
+    /// The anonymous record id.
+    pub record_id: RecordId,
+    /// The entity the record concerns.
+    pub entity: EntityId,
+    /// The record's interactions, in append order.
+    pub interactions: Vec<Interaction>,
 }
 
 /// One search result on the wire: the ranked entity with both opinion
@@ -388,6 +478,8 @@ const T_STATS: u8 = 0x06;
 const T_AGG_PARTS: u8 = 0x07;
 const T_AGG_PARTS_BATCH: u8 = 0x08;
 const T_TRACES: u8 = 0x09;
+const T_REPLICATE: u8 = 0x0A;
+const T_CATCH_UP: u8 = 0x0B;
 // Response tags (high bit set).
 const T_PONG: u8 = 0x81;
 const T_ISSUED: u8 = 0x82;
@@ -402,6 +494,10 @@ const T_STATS_RESP: u8 = 0x8A;
 const T_AGG_PARTS_RESP: u8 = 0x8B;
 const T_AGG_PARTS_BATCH_RESP: u8 = 0x8C;
 const T_TRACES_RESP: u8 = 0x8D;
+const T_REPL_ACK: u8 = 0x8E;
+const T_STALE_EPOCH: u8 = 0x8F;
+const T_CATCH_CHUNK: u8 = 0x90;
+const T_UNAVAILABLE: u8 = 0x91;
 
 impl Request {
     /// Encode into a complete frame.
@@ -463,6 +559,31 @@ impl Request {
                 }
             }
             Request::Traces => buf.put_u8(T_TRACES),
+            Request::Replicate { range, epoch, promote, items } => {
+                buf.put_u8(T_REPLICATE);
+                buf.put_u32_le(*range);
+                buf.put_u64_le(*epoch);
+                buf.put_u8(*promote as u8);
+                debug_assert!(items.len() <= u32::MAX as usize);
+                buf.put_u32_le(items.len() as u32);
+                for item in items {
+                    match &item.spend {
+                        None => buf.put_u8(0),
+                        Some(key) => {
+                            buf.put_u8(1);
+                            buf.put_slice(key);
+                        }
+                    }
+                    buf.put_slice(item.entry.record_id.as_bytes());
+                    buf.put_u64_le(item.entry.entity.raw());
+                    put_interaction(&mut buf, &item.entry.interaction);
+                }
+            }
+            Request::CatchUp { range, cursor } => {
+                buf.put_u8(T_CATCH_UP);
+                buf.put_u32_le(*range);
+                buf.put_u64_le(*cursor);
+            }
         }
         buf.freeze().to_vec()
     }
@@ -499,6 +620,36 @@ impl Request {
                 Request::AggregatePartsBatch { entities }
             }
             T_TRACES => Request::Traces,
+            T_REPLICATE => {
+                let range = r.u32()?;
+                let epoch = r.u64()?;
+                let promote = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Malformed("bad promote flag")),
+                };
+                // Each item needs at least flag + id + entity + interaction.
+                let n = r.u32()? as usize;
+                if n.saturating_mul(1 + 32 + 8 + 27) > r.remaining() {
+                    return Err(WireError::Malformed("item list exceeds payload"));
+                }
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let spend = match r.u8()? {
+                        0 => None,
+                        1 => Some(r.key32()?),
+                        _ => return Err(WireError::Malformed("bad spend flag")),
+                    };
+                    let entry = WalEntry {
+                        record_id: r.record_id()?,
+                        entity: EntityId::new(r.u64()?),
+                        interaction: r.interaction()?,
+                    };
+                    items.push(WalBatchItem { spend, entry });
+                }
+                Request::Replicate { range, epoch, promote, items }
+            }
+            T_CATCH_UP => Request::CatchUp { range: r.u32()?, cursor: r.u64()? },
             tag => return Err(WireError::UnknownTag(tag)),
         };
         r.finish()?;
@@ -598,6 +749,50 @@ impl Response {
                 buf.put_u8(T_TRACES_RESP);
                 put_traces(&mut buf, traces);
             }
+            Response::ReplicateAck { epoch, applied } => {
+                buf.put_u8(T_REPL_ACK);
+                buf.put_u64_le(*epoch);
+                buf.put_u64_le(*applied);
+            }
+            Response::StaleEpoch { range, current } => {
+                buf.put_u8(T_STALE_EPOCH);
+                buf.put_u32_le(*range);
+                buf.put_u64_le(*current);
+            }
+            Response::CatchUpChunk {
+                epoch,
+                primary,
+                done,
+                digest,
+                next_cursor,
+                records,
+                tokens,
+            } => {
+                buf.put_u8(T_CATCH_CHUNK);
+                buf.put_u64_le(*epoch);
+                buf.put_u8(*primary as u8);
+                buf.put_u8(*done as u8);
+                buf.put_u32_le(*digest);
+                buf.put_u64_le(*next_cursor);
+                debug_assert!(records.len() <= u32::MAX as usize);
+                buf.put_u32_le(records.len() as u32);
+                for rec in records {
+                    buf.put_slice(rec.record_id.as_bytes());
+                    buf.put_u64_le(rec.entity.raw());
+                    buf.put_u32_le(rec.interactions.len() as u32);
+                    for i in &rec.interactions {
+                        put_interaction(&mut buf, i);
+                    }
+                }
+                buf.put_u32_le(tokens.len() as u32);
+                for key in tokens {
+                    buf.put_slice(key);
+                }
+            }
+            Response::Unavailable { detail } => {
+                buf.put_u8(T_UNAVAILABLE);
+                put_string(&mut buf, detail);
+            }
         }
         buf.freeze().to_vec()
     }
@@ -663,6 +858,62 @@ impl Response {
                 Response::AggregatePartsBatch { parts }
             }
             T_TRACES_RESP => Response::Traces { traces: r.traces()? },
+            T_REPL_ACK => Response::ReplicateAck { epoch: r.u64()?, applied: r.u64()? },
+            T_STALE_EPOCH => Response::StaleEpoch { range: r.u32()?, current: r.u64()? },
+            T_CATCH_CHUNK => {
+                let epoch = r.u64()?;
+                let primary = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Malformed("bad primary flag")),
+                };
+                let done = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Malformed("bad done flag")),
+                };
+                let digest = r.u32()?;
+                let next_cursor = r.u64()?;
+                // Each record needs at least id + entity + its own count.
+                let n = r.u32()? as usize;
+                if n.saturating_mul(32 + 8 + 4) > r.remaining() {
+                    return Err(WireError::Malformed("record list exceeds payload"));
+                }
+                let mut records = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let record_id = r.record_id()?;
+                    let entity = EntityId::new(r.u64()?);
+                    let m = r.u32()? as usize;
+                    if m.saturating_mul(27) > r.remaining() {
+                        return Err(WireError::Malformed(
+                            "interaction list exceeds payload",
+                        ));
+                    }
+                    let mut interactions = Vec::with_capacity(m);
+                    for _ in 0..m {
+                        interactions.push(r.interaction()?);
+                    }
+                    records.push(CatchRecord { record_id, entity, interactions });
+                }
+                let n = r.u32()? as usize;
+                if n.saturating_mul(32) > r.remaining() {
+                    return Err(WireError::Malformed("token list exceeds payload"));
+                }
+                let mut tokens = Vec::with_capacity(n);
+                for _ in 0..n {
+                    tokens.push(r.key32()?);
+                }
+                Response::CatchUpChunk {
+                    epoch,
+                    primary,
+                    done,
+                    digest,
+                    next_cursor,
+                    records,
+                    tokens,
+                }
+            }
+            T_UNAVAILABLE => Response::Unavailable { detail: r.string()? },
             tag => return Err(WireError::UnknownTag(tag)),
         };
         r.finish()?;
@@ -914,10 +1165,14 @@ impl<'a> Reader<'a> {
     }
 
     fn record_id(&mut self) -> Result<RecordId, WireError> {
+        Ok(RecordId::from_bytes(self.key32()?))
+    }
+
+    fn key32(&mut self) -> Result<[u8; 32], WireError> {
         let b = self.take(32)?;
-        let mut id = [0u8; 32];
-        id.copy_from_slice(b);
-        Ok(RecordId::from_bytes(id))
+        let mut key = [0u8; 32];
+        key.copy_from_slice(b);
+        Ok(key)
     }
 
     fn category(&mut self) -> Result<Category, WireError> {
@@ -1447,6 +1702,147 @@ mod tests {
         assert_eq!(
             Request::decode_payload(&payload),
             Err(WireError::Malformed("trailing bytes in payload"))
+        );
+    }
+
+    fn sample_interaction(seed: i64) -> Interaction {
+        Interaction {
+            kind: InteractionKind::Visit,
+            start: Timestamp::from_seconds(seed),
+            duration: SimDuration::seconds(60 + seed),
+            distance_travelled_m: 12.5,
+            group_size: 2,
+        }
+    }
+
+    #[test]
+    fn replicate_round_trips() {
+        let items = vec![
+            WalBatchItem {
+                spend: Some([7u8; 32]),
+                entry: WalEntry {
+                    record_id: RecordId::from_bytes([1u8; 32]),
+                    entity: EntityId::new(42),
+                    interaction: sample_interaction(100),
+                },
+            },
+            WalBatchItem {
+                spend: None,
+                entry: WalEntry {
+                    record_id: RecordId::from_bytes([2u8; 32]),
+                    entity: EntityId::new(43),
+                    interaction: sample_interaction(-5),
+                },
+            },
+        ];
+        let req = Request::Replicate { range: 3, epoch: 9, promote: false, items };
+        assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        let promote =
+            Request::Replicate { range: 0, epoch: u64::MAX, promote: true, items: vec![] };
+        assert_eq!(Request::decode(&promote.encode()).unwrap(), promote);
+    }
+
+    #[test]
+    fn catch_up_round_trips() {
+        let req = Request::CatchUp { range: 2, cursor: 4096 };
+        assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+    }
+
+    #[test]
+    fn replication_responses_round_trip() {
+        for resp in [
+            Response::ReplicateAck { epoch: 5, applied: 128 },
+            Response::StaleEpoch { range: 1, current: 6 },
+            Response::Unavailable { detail: "backend 2 range 1 demoted".into() },
+            Response::CatchUpChunk {
+                epoch: 3,
+                primary: true,
+                done: false,
+                digest: 0,
+                next_cursor: 512,
+                records: vec![
+                    CatchRecord {
+                        record_id: RecordId::from_bytes([9u8; 32]),
+                        entity: EntityId::new(7),
+                        interactions: vec![sample_interaction(1), sample_interaction(2)],
+                    },
+                    CatchRecord {
+                        record_id: RecordId::from_bytes([10u8; 32]),
+                        entity: EntityId::new(8),
+                        interactions: vec![],
+                    },
+                ],
+                tokens: vec![[3u8; 32], [4u8; 32]],
+            },
+            Response::CatchUpChunk {
+                epoch: 4,
+                primary: false,
+                done: true,
+                digest: 0xDEAD_BEEF,
+                next_cursor: 0,
+                records: vec![],
+                tokens: vec![],
+            },
+        ] {
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn hostile_replicate_lengths_do_not_allocate() {
+        // A replicate batch claiming 4 billion items in an empty payload.
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_u8(T_REPLICATE);
+        buf.put_u32_le(0); // range
+        buf.put_u64_le(1); // epoch
+        buf.put_u8(0); // promote
+        buf.put_u32_le(u32::MAX);
+        let framed = frame(&buf.freeze().to_vec());
+        assert_eq!(
+            Request::decode(&framed),
+            Err(WireError::Malformed("item list exceeds payload"))
+        );
+    }
+
+    #[test]
+    fn hostile_catch_up_chunk_lengths_do_not_allocate() {
+        fn chunk_header() -> BytesMut {
+            let mut buf = BytesMut::with_capacity(64);
+            buf.put_u8(T_CATCH_CHUNK);
+            buf.put_u64_le(1); // epoch
+            buf.put_u8(1); // primary
+            buf.put_u8(1); // done
+            buf.put_u32_le(0); // digest
+            buf.put_u64_le(0); // next_cursor
+            buf
+        }
+        // 4 billion records claimed in an empty payload.
+        let mut buf = chunk_header();
+        buf.put_u32_le(u32::MAX);
+        let framed = frame(&buf.freeze().to_vec());
+        assert_eq!(
+            Response::decode(&framed),
+            Err(WireError::Malformed("record list exceeds payload"))
+        );
+        // One record claiming 4 billion interactions.
+        let mut buf = chunk_header();
+        buf.put_u32_le(1);
+        buf.put_slice(&[0u8; 32]); // record id
+        buf.put_u64_le(7); // entity
+        buf.put_u32_le(u32::MAX);
+        let framed = frame(&buf.freeze().to_vec());
+        assert_eq!(
+            Response::decode(&framed),
+            Err(WireError::Malformed("interaction list exceeds payload"))
+        );
+        // No records, then 4 billion tokens claimed.
+        let mut buf = chunk_header();
+        buf.put_u32_le(0);
+        buf.put_u32_le(u32::MAX);
+        let framed = frame(&buf.freeze().to_vec());
+        assert_eq!(
+            Response::decode(&framed),
+            Err(WireError::Malformed("token list exceeds payload"))
         );
     }
 

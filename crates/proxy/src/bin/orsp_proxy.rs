@@ -47,11 +47,25 @@ fn main() {
     if backends.is_empty() {
         eprintln!(
             "usage: orsp-proxy [--listen ADDR] --backend ADDR [--backend ADDR ...] \
-             [--pool N] [--cluster-internal] [--trace-sample PER10K] [--trace-slow-us N]"
+             [--pool N] [--cluster-internal] [--replication-factor N] \
+             [--trace-sample PER10K] [--trace-slow-us N]"
         );
         std::process::exit(2);
     }
     let cluster_internal = args.iter().any(|a| a == "--cluster-internal");
+    // Replication factor of the backend tier (see `orsp-replicad`):
+    // above 1, the proxy fails reads and writes over to a range's
+    // follower when its primary goes hard-down, promoting it in place.
+    let replication_factor: usize = args
+        .iter()
+        .position(|a| a == "--replication-factor")
+        .map(|i| {
+            args.get(i + 1)
+                .expect("--replication-factor takes a count")
+                .parse()
+                .expect("--replication-factor count")
+        })
+        .unwrap_or(1);
     let pool: usize = args
         .iter()
         .position(|a| a == "--pool")
@@ -86,8 +100,11 @@ fn main() {
     }
     let service = Arc::new(ProxyService::new(
         links,
-        ProxyConfig { cluster_internal, ..ProxyConfig::default() },
+        ProxyConfig { cluster_internal, replication_factor, ..ProxyConfig::default() },
     ));
+    if replication_factor > 1 {
+        println!("proxy: replication factor {replication_factor} — failover routing enabled");
+    }
     // Distinct per-process id streams: the library default seed is fixed
     // (tests pin ids), but the proxy and its backends must never mint
     // colliding trace ids or the trace join would fuse unrelated traces.

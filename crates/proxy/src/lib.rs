@@ -5,13 +5,18 @@
 //! nodes answer exactly like one.
 //!
 //! * [`service`] — [`ProxyService`]: consistent-hash routing for writes
-//!   (`shard_index(record_id)` picks the owning backend — the identical
-//!   formula the ingest shards and storage segments use one layer down),
-//!   scatter-gather for reads, typed [`ProxyError`] failure semantics
-//!   (`Unavailable` → wire `Busy`; cross-backend inconsistency → wire
-//!   `Error`), per-backend outcome counters and per-RPC fan-out latency
-//!   histograms in an `orsp-obs` registry that the `Stats` RPC exports
-//!   alongside every backend's own snapshot under `backend<i>_` keys.
+//!   (`shard_index(record_id)` picks the owning hash range — the
+//!   identical formula the ingest shards and storage segments use one
+//!   layer down), a per-range routing table that follows fail-overs
+//!   (when [`ProxyConfig::replication_factor`] > 1 the proxy promotes a
+//!   live `orsp-replica` follower over a dead primary and reroutes),
+//!   scatter-gather over current primaries for reads, typed
+//!   [`ProxyError`] failure semantics (shedding → wire `Busy`;
+//!   hard-down with no promotable replica → wire `Unavailable`;
+//!   cross-backend inconsistency → wire `Error`), per-backend outcome
+//!   counters and per-RPC fan-out latency histograms in an `orsp-obs`
+//!   registry that the `Stats` RPC exports alongside every backend's
+//!   own snapshot under `backend<i>_` keys.
 //! * [`merge`] — the pure merge rules, separated from transport so the
 //!   bit-identical-to-one-node claim is unit-testable: partial-aggregate
 //!   union with the k-anonymity floor applied *after* the merge, strict

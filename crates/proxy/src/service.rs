@@ -12,26 +12,35 @@
 //!   backend. `IssueToken` routes by device id, keeping each device's
 //!   token rate window on one mint. (Tokens are blind: unlinkable to any
 //!   record, so the two routings never need to agree.)
-//! * **Reads** fan out to every backend and merge via [`crate::merge`];
-//!   `FetchAggregate` and `Search` answers are bit-identical to a single
-//!   node holding the union of the data (asserted end to end by
-//!   `tests/proxy_end_to_end.rs`). Search refills its support fields
-//!   with one batched `AggregatePartsBatch` fan-out covering every hit.
-//!   The cluster-internal `AggregateParts` RPCs themselves are refused
-//!   at the front door unless [`ProxyConfig::cluster_internal`] is set —
-//!   their merged answers are floor-unfiltered, and only the firewalled
-//!   proxy tier may see those.
-//! * **Failure** is typed: a transient backend fault surfaces as
-//!   [`ProxyError::Unavailable`] internally and an explicit wire `Busy`
-//!   (the protocol's retryable signal) externally, never a hang or a
-//!   silently partial answer. Only `Stats` degrades partially — see
-//!   [`crate::merge::namespaced_stats`].
+//! * **Reads** fan out to the *current primary* of every hash range and
+//!   merge via [`crate::merge`]; `FetchAggregate` and `Search` answers
+//!   are bit-identical to a single node holding the union of the data
+//!   (asserted end to end by `tests/proxy_end_to_end.rs`). Search
+//!   refills its support fields with one batched `AggregatePartsBatch`
+//!   fan-out covering every hit. The cluster-internal `AggregateParts`,
+//!   `Replicate`, and `CatchUp` RPCs are refused at the front door
+//!   unless [`ProxyConfig::cluster_internal`] is set.
+//! * **Failover** (when [`ProxyConfig::replication_factor`] > 1): each
+//!   range's route starts at its born owner and moves when that backend
+//!   goes hard-down — the proxy promotes the next live member of the
+//!   range's replica set with an epoch-fenced `Replicate { promote }`
+//!   and retries against it, so a killed backend costs one in-flight
+//!   round trip, not availability. A `StaleEpoch` refusal teaches the
+//!   proxy the cluster's real epoch and it re-promotes above it.
+//! * **Failure** is typed: backend shedding surfaces as a wire `Busy`
+//!   (the protocol's retryable signal); a hard-down backend that has no
+//!   promotable replica surfaces as the typed wire `Unavailable`, which
+//!   clients fail fast on instead of burning their retry budget. Never
+//!   a hang or a silently partial answer — only `Stats` degrades
+//!   partially (see [`crate::merge::namespaced_stats`]).
 
 use crate::merge::{self, MergeError};
 use orsp_net::{CallTrace, FrameService, NetError, NetPool, Request, Response, RetryStats};
-use orsp_obs::{trace, Counter, Histogram, Registry, TraceContext};
+use orsp_obs::{trace, Counter, Gauge, Histogram, Registry, TraceContext};
+use orsp_replica::Topology;
 use orsp_server::shard_index;
 use orsp_types::{DeviceId, EntityId, RecordId};
+use parking_lot::Mutex;
 use std::fmt;
 use std::sync::Arc;
 
@@ -50,6 +59,14 @@ pub struct ProxyConfig {
     /// exists to suppress. Enable only for a proxy that is itself a
     /// backend of another proxy, firewalled like the backends are.
     pub cluster_internal: bool,
+    /// Copies per hash range, including the primary (clamped to
+    /// `1..=backend_count`). 1 — the default — is the unreplicated PR 7
+    /// cluster: every range has exactly its born owner and a backend
+    /// loss makes that range's requests fail. Above 1 the proxy fails
+    /// over: it promotes the next live member of a dead primary's
+    /// replica set (an `orsp-replicad` follower holding the range's
+    /// replicated log) and reroutes, for reads and writes both.
+    pub replication_factor: usize,
 }
 
 /// Most of the proxy's *own* completed traces one `Traces` RPC drains
@@ -61,6 +78,7 @@ impl Default for ProxyConfig {
         ProxyConfig {
             min_aggregate_support: orsp_server::MIN_AGGREGATE_SUPPORT,
             cluster_internal: false,
+            replication_factor: 1,
         }
     }
 }
@@ -108,8 +126,10 @@ impl BackendLink for NetPool {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ProxyError {
     /// A backend the answer needs is unreachable, shedding, or timing
-    /// out. Maps to a wire `Busy`: the client's existing retry/backoff
-    /// loop handles it with no new protocol.
+    /// out (after any failover attempt). Shedding (`NetError::Busy`)
+    /// maps to a wire `Busy` — the client's retry/backoff loop handles
+    /// it; everything else maps to the typed wire `Unavailable`, which
+    /// clients fail fast on.
     Unavailable {
         /// Index of the failing backend.
         backend: usize,
@@ -142,20 +162,36 @@ impl From<MergeError> for ProxyError {
 
 /// Per-backend outcome counters (DESIGN §7 naming; `<i>` is the backend
 /// index): `proxy_backend<i>_forwarded_total`, `..._retried_total`,
-/// `..._unavailable_total`, `..._shed_total`.
+/// `..._unavailable_total`, `..._shed_total`, plus the failover pair
+/// `..._read_failover_total` / `..._write_failover_total` counting how
+/// often this backend was routed *around* as a dead primary.
 struct BackendCounters {
     forwarded: Counter,
     retried: Counter,
     unavailable: Counter,
     shed: Counter,
+    read_failover: Counter,
+    write_failover: Counter,
+}
+
+/// Per-range routing state exported as gauges: `proxy_range<r>_primary`
+/// (backend index currently serving the range) and
+/// `proxy_range<r>_epoch` (the fencing epoch the proxy last promoted
+/// at or was taught by a `StaleEpoch` refusal). `orsp-top` renders
+/// these as the per-range health column.
+struct RangeGauges {
+    primary: Gauge,
+    epoch: Gauge,
 }
 
 struct ProxyMetrics {
     backends: Vec<BackendCounters>,
+    ranges: Vec<RangeGauges>,
     requests: Counter,
     unavailable: Counter,
     inconsistent: Counter,
     internal_refused: Counter,
+    promotions: Counter,
     fanout_ping_us: Histogram,
     fanout_fetch_aggregate_us: Histogram,
     fanout_aggregate_parts_us: Histogram,
@@ -175,12 +211,28 @@ impl ProxyMetrics {
                     retried: obs.counter(&format!("proxy_backend{i}_retried_total")),
                     unavailable: obs.counter(&format!("proxy_backend{i}_unavailable_total")),
                     shed: obs.counter(&format!("proxy_backend{i}_shed_total")),
+                    read_failover: obs
+                        .counter(&format!("proxy_backend{i}_read_failover_total")),
+                    write_failover: obs
+                        .counter(&format!("proxy_backend{i}_write_failover_total")),
+                })
+                .collect(),
+            ranges: (0..n)
+                .map(|r| {
+                    let gauges = RangeGauges {
+                        primary: obs.gauge(&format!("proxy_range{r}_primary")),
+                        epoch: obs.gauge(&format!("proxy_range{r}_epoch")),
+                    };
+                    gauges.primary.set(r as i64);
+                    gauges.epoch.set(0);
+                    gauges
                 })
                 .collect(),
             requests: obs.counter("proxy_requests_total"),
             unavailable: obs.counter("proxy_unavailable_total"),
             inconsistent: obs.counter("proxy_inconsistent_total"),
             internal_refused: obs.counter("proxy_internal_refused_total"),
+            promotions: obs.counter("proxy_promotions_total"),
             fanout_ping_us: obs.histogram("proxy_fanout_ping_us"),
             fanout_fetch_aggregate_us: obs.histogram("proxy_fanout_fetch_aggregate_us"),
             fanout_aggregate_parts_us: obs.histogram("proxy_fanout_aggregate_parts_us"),
@@ -193,10 +245,23 @@ impl ProxyMetrics {
     }
 }
 
-/// The stateless front door over N backends.
+/// One hash range's current route: which backend serves it, and the
+/// fencing epoch it was last promoted at.
+#[derive(Debug, Clone, Copy)]
+struct RangeRoute {
+    primary: usize,
+    epoch: u64,
+}
+
+/// The front door over N backends. Almost stateless: the only state is
+/// the per-range routing table, which a restarted proxy relearns in one
+/// failed call + `StaleEpoch` exchange — restart at will, run several
+/// for availability.
 pub struct ProxyService {
     backends: Vec<Arc<dyn BackendLink>>,
     config: ProxyConfig,
+    topology: Topology,
+    routes: Mutex<Vec<RangeRoute>>,
     obs: Arc<Registry>,
     metrics: ProxyMetrics,
 }
@@ -205,10 +270,17 @@ impl ProxyService {
     /// Build a proxy over the given backends (at least one).
     pub fn new(backends: Vec<Arc<dyn BackendLink>>, config: ProxyConfig) -> ProxyService {
         assert!(!backends.is_empty(), "a proxy needs at least one backend");
+        let n = backends.len();
+        let rf = config.replication_factor.clamp(1, n);
+        // The proxy's own ring index is irrelevant — it only uses the
+        // replica-set math, which every node computes identically.
+        let topology = Topology::new(0, n as u32, rf as u32);
+        let routes =
+            Mutex::new((0..n).map(|r| RangeRoute { primary: r, epoch: 0 }).collect());
         let obs = Arc::new(Registry::new());
         obs.tracer().set_process("proxy");
-        let metrics = ProxyMetrics::new(&obs, backends.len());
-        ProxyService { backends, config, obs, metrics }
+        let metrics = ProxyMetrics::new(&obs, n);
+        ProxyService { backends, config, topology, routes, obs, metrics }
     }
 
     /// Number of backends.
@@ -235,6 +307,99 @@ impl ProxyService {
         let mut key = [0u8; 32];
         key[..8].copy_from_slice(&device.raw().to_le_bytes());
         shard_index(&key, self.backends.len())
+    }
+
+    /// The backend currently serving `range` — the born owner until a
+    /// failover moved the route.
+    pub fn primary_of(&self, range: usize) -> usize {
+        self.routes.lock()[range].primary
+    }
+
+    /// The distinct set of backends currently serving at least one
+    /// range — where reads scatter. With every route home this is all
+    /// backends; after a failover the dead backend drops out and its
+    /// ranges' answers come from the promoted followers, keeping merges
+    /// duplicate-free (each range's data is counted exactly once).
+    fn read_targets(&self) -> Vec<usize> {
+        let routes = self.routes.lock();
+        let mut targets: Vec<usize> = routes.iter().map(|r| r.primary).collect();
+        targets.sort_unstable();
+        targets.dedup();
+        targets
+    }
+
+    fn set_route(&self, range: usize, primary: usize, epoch: u64) {
+        self.routes.lock()[range] = RangeRoute { primary, epoch };
+        self.metrics.ranges[range].primary.set(primary as i64);
+        self.metrics.ranges[range].epoch.set(epoch as i64);
+    }
+
+    /// A failure that failover should route around: the backend is gone
+    /// or has demoted itself — retrying the same backend will not help.
+    /// `Busy` is deliberately excluded: shedding is transient and
+    /// promoting a follower over a merely-loaded primary would fork the
+    /// range.
+    fn is_hard_down(result: &Result<Response, ProxyError>) -> bool {
+        matches!(
+            result,
+            Err(ProxyError::Unavailable { source, .. }) if !matches!(source, NetError::Busy)
+        )
+    }
+
+    /// Promote the next live member of `range`'s replica set (skipping
+    /// `dead`) with an epoch-fenced `Replicate { promote }`, and point
+    /// the route at it. A `StaleEpoch` refusal means the cluster is
+    /// already past the epoch the proxy knew — adopt the reported epoch
+    /// and re-promote above it (second attempt per candidate). Returns
+    /// the new primary, or None if no replica answered (then the
+    /// original failure stands).
+    fn promote_range(&self, range: usize, dead: usize) -> Option<usize> {
+        let mut epoch = self.routes.lock()[range].epoch + 1;
+        for candidate in self.topology.replica_set(range as u32) {
+            let candidate = candidate as usize;
+            if candidate == dead {
+                continue;
+            }
+            for _ in 0..2 {
+                let promote = Request::Replicate {
+                    range: range as u32,
+                    epoch,
+                    promote: true,
+                    items: vec![],
+                };
+                match self.call_backend(candidate, &promote) {
+                    Ok(Response::ReplicateAck { epoch: adopted, .. }) => {
+                        self.set_route(range, candidate, adopted);
+                        self.metrics.promotions.inc();
+                        return Some(candidate);
+                    }
+                    Ok(Response::StaleEpoch { current, .. }) => {
+                        epoch = current + 1;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        None
+    }
+
+    /// Promote replacements for every range `dead` was serving. Returns
+    /// true if at least one range moved.
+    fn fail_over_backend(&self, dead: usize) -> bool {
+        let owned: Vec<usize> = {
+            let routes = self.routes.lock();
+            routes
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.primary == dead)
+                .map(|(range, _)| range)
+                .collect()
+        };
+        let mut moved = false;
+        for range in owned {
+            moved |= self.promote_range(range, dead).is_some();
+        }
+        moved
     }
 
     /// One routed call, with per-backend outcome accounting, inside a
@@ -282,6 +447,16 @@ impl ProxyService {
                 counters.shed.inc();
                 Err(ProxyError::Unavailable { backend: i, source: NetError::Busy })
             }
+            Ok((Response::Unavailable { detail }, _)) => {
+                // A backend refusing as *not serving* (a replica that
+                // demoted itself, a follower holding a range it is not
+                // primary for). A `NetPool` fails fast and surfaces this
+                // as `Err(NetError::Unavailable)`; fakes and in-process
+                // links hand it back as a value. Either way it is a
+                // hard-down signal the failover logic routes around.
+                counters.unavailable.inc();
+                Err(ProxyError::Unavailable { backend: i, source: NetError::Unavailable(detail) })
+            }
             Ok((response, trace)) => {
                 if trace.retried() {
                     counters.retried.add(u64::from(trace.attempts - 1));
@@ -299,21 +474,67 @@ impl ProxyService {
         }
     }
 
-    /// Fan one request out to every backend concurrently. The dispatch
-    /// thread's trace context is captured *before* the scope — scoped
-    /// threads don't inherit thread-locals, so each leg re-parents its
-    /// `backend_call` span explicitly.
+    /// Fan one request out to every backend concurrently — the
+    /// whole-cluster fan (`Stats`, `Traces`): every backend reports,
+    /// primary or not. The dispatch thread's trace context is captured
+    /// *before* the scope — scoped threads don't inherit thread-locals,
+    /// so each leg re-parents its `backend_call` span explicitly.
     fn scatter(&self, request: &Request) -> Vec<Result<Response, ProxyError>> {
-        if self.backends.len() == 1 {
-            return vec![self.call_backend(0, request)];
+        let all: Vec<usize> = (0..self.backends.len()).collect();
+        self.scatter_to(&all, request)
+    }
+
+    /// Fan one request out to an explicit set of backends concurrently.
+    fn scatter_to(
+        &self,
+        targets: &[usize],
+        request: &Request,
+    ) -> Vec<Result<Response, ProxyError>> {
+        if let [only] = targets {
+            return vec![self.call_backend(*only, request)];
         }
         let parent = trace::current();
         std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..self.backends.len())
-                .map(|i| scope.spawn(move || self.call_backend_from(i, request, parent)))
+            let handles: Vec<_> = targets
+                .iter()
+                .map(|&i| scope.spawn(move || self.call_backend_from(i, request, parent)))
                 .collect();
             handles.into_iter().map(|h| h.join().expect("backend fan-out thread")).collect()
         })
+    }
+
+    /// The read fan: scatter to the current primaries, and — when
+    /// replicating — fail over once. Any leg that came back hard-down
+    /// gets its backend's ranges promoted to live followers, then the
+    /// *whole* read re-scatters against the new primary set (re-asking
+    /// the survivors is what keeps the merge a complete union rather
+    /// than a partial answer). If nothing could be promoted the original
+    /// results — including the failure — stand.
+    fn scatter_reads(&self, request: &Request) -> Vec<Result<Response, ProxyError>> {
+        let targets = self.read_targets();
+        let results = self.scatter_to(&targets, request);
+        if self.topology.replication_factor == 1 {
+            return results;
+        }
+        let dead: Vec<usize> = targets
+            .iter()
+            .zip(&results)
+            .filter(|(_, result)| Self::is_hard_down(result))
+            .map(|(&backend, _)| backend)
+            .collect();
+        if dead.is_empty() {
+            return results;
+        }
+        let mut moved = false;
+        for &backend in &dead {
+            self.metrics.backends[backend].read_failover.inc();
+            moved |= self.fail_over_backend(backend);
+        }
+        if !moved {
+            return results;
+        }
+        let retargeted = self.read_targets();
+        self.scatter_to(&retargeted, request)
     }
 
     /// Scatter `AggregateParts` and merge: the floor-unfiltered union of
@@ -323,7 +544,7 @@ impl ProxyService {
         entity: EntityId,
     ) -> Result<Option<orsp_server::AggregateParts>, ProxyError> {
         let span = self.obs.span_into(&self.metrics.fanout_aggregate_parts_us);
-        let gathered = self.scatter(&Request::AggregateParts { entity });
+        let gathered = self.scatter_reads(&Request::AggregateParts { entity });
         span.end();
         let mut parts = Vec::with_capacity(gathered.len());
         for result in gathered {
@@ -354,7 +575,7 @@ impl ProxyService {
         }
         let span = self.obs.span_into(&self.metrics.fanout_aggregate_parts_us);
         let gathered =
-            self.scatter(&Request::AggregatePartsBatch { entities: entities.to_vec() });
+            self.scatter_reads(&Request::AggregatePartsBatch { entities: entities.to_vec() });
         span.end();
         let mut lists = Vec::with_capacity(gathered.len());
         for result in gathered {
@@ -384,7 +605,7 @@ impl ProxyService {
 
     fn do_ping(&self) -> Result<Response, ProxyError> {
         let span = self.obs.span_into(&self.metrics.fanout_ping_us);
-        let gathered = self.scatter(&Request::Ping);
+        let gathered = self.scatter_reads(&Request::Ping);
         span.end();
         for result in gathered {
             match result? {
@@ -411,7 +632,7 @@ impl ProxyService {
 
     fn do_search(&self, query: orsp_search::SearchQuery) -> Result<Response, ProxyError> {
         let span = self.obs.span_into(&self.metrics.fanout_search_us);
-        let gathered = self.scatter(&Request::Search { query });
+        let gathered = self.scatter_reads(&Request::Search { query });
         let mut lists = Vec::with_capacity(gathered.len());
         for result in gathered {
             match result? {
@@ -538,15 +759,39 @@ impl ProxyService {
             Request::IssueToken { device, blinded, now } => {
                 let span = self.obs.span_into(&self.metrics.route_issue_us);
                 let backend = self.backend_for_device(device);
-                let response =
-                    self.call_backend(backend, &Request::IssueToken { device, blinded, now });
+                let request = Request::IssueToken { device, blinded, now };
+                let mut response = self.call_backend(backend, &request);
+                // A replicated cluster derives one mint from one shared
+                // world seed, so any live backend can sign for any
+                // device — failing over only widens the device's rate
+                // window to a second node for the outage's duration.
+                // (Unreplicated clusters may run distinct seeds; there
+                // the route stays fixed.)
+                if self.topology.replication_factor > 1 {
+                    let mut tried = 1;
+                    let mut at = backend;
+                    while Self::is_hard_down(&response) && tried < self.backends.len() {
+                        self.metrics.backends[at].write_failover.inc();
+                        at = (at + 1) % self.backends.len();
+                        response = self.call_backend(at, &request);
+                        tried += 1;
+                    }
+                }
                 span.end();
                 response
             }
             Request::Upload { upload, now } => {
                 let span = self.obs.span_into(&self.metrics.route_upload_us);
-                let backend = self.backend_for_record(&upload.record_id);
-                let response = self.call_backend(backend, &Request::Upload { upload, now });
+                let range = self.backend_for_record(&upload.record_id);
+                let request = Request::Upload { upload, now };
+                let primary = self.primary_of(range);
+                let mut response = self.call_backend(primary, &request);
+                if Self::is_hard_down(&response) && self.topology.replication_factor > 1 {
+                    self.metrics.backends[primary].write_failover.inc();
+                    if let Some(promoted) = self.promote_range(range, primary) {
+                        response = self.call_backend(promoted, &request);
+                    }
+                }
                 span.end();
                 response
             }
@@ -568,6 +813,43 @@ impl ProxyService {
             Request::Search { query } => self.do_search(query),
             Request::Stats => Ok(self.do_stats()),
             Request::Traces => Ok(self.do_traces()),
+            // The replication RPCs are gated exactly like AggregateParts:
+            // a public front door refuses them without touching a
+            // backend (a client that could promote-at-will or pull a
+            // range's raw per-record log would own the cluster).
+            Request::Replicate { .. } => {
+                if !self.config.cluster_internal {
+                    return Ok(self.refuse_internal("Replicate"));
+                }
+                // Point-to-point between a range's replicas: the frame
+                // names a range but not the *follower* it was meant for,
+                // so a routing tier cannot deliver it faithfully.
+                Ok(Response::Error {
+                    detail: "Replicate is point-to-point between a range's replicas; \
+                             a proxy tier cannot route it"
+                        .into(),
+                })
+            }
+            Request::CatchUp { range, cursor } => {
+                if !self.config.cluster_internal {
+                    return Ok(self.refuse_internal("CatchUp"));
+                }
+                // An internal tier may relay anti-entropy: the range's
+                // current primary is the authoritative source.
+                let range = range as usize;
+                if range >= self.backends.len() {
+                    return Ok(Response::Error {
+                        detail: format!(
+                            "range {range} outside cluster of {}",
+                            self.backends.len()
+                        ),
+                    });
+                }
+                self.call_backend(
+                    self.primary_of(range),
+                    &Request::CatchUp { range: range as u32, cursor },
+                )
+            }
         }
     }
 
@@ -592,13 +874,19 @@ impl ProxyService {
             Request::Traces => "proxy/traces",
             Request::AggregateParts { .. } => "proxy/aggregate_parts",
             Request::AggregatePartsBatch { .. } => "proxy/aggregate_parts_batch",
+            Request::Replicate { .. } => "proxy/replicate",
+            Request::CatchUp { .. } => "proxy/catch_up",
         };
         let root = self.obs.tracer().root_or_remote(ctx, name);
         let response = match self.dispatch(request) {
             Ok(response) => response,
-            Err(ProxyError::Unavailable { .. }) => {
+            Err(ProxyError::Unavailable { source: NetError::Busy, .. }) => {
                 self.metrics.unavailable.inc();
                 Response::Busy
+            }
+            Err(error @ ProxyError::Unavailable { .. }) => {
+                self.metrics.unavailable.inc();
+                Response::Unavailable { detail: error.to_string() }
             }
             Err(error @ ProxyError::Inconsistent(_)) => {
                 self.metrics.inconsistent.inc();
@@ -820,15 +1108,200 @@ mod tests {
     }
 
     #[test]
-    fn unreachable_backend_counts_separately_from_shed() {
+    fn unreachable_backend_counts_separately_from_shed_and_surfaces_as_unavailable() {
+        // Without a replica to promote (rf 1), a hard-down backend is a
+        // typed wire `Unavailable` — clients fail fast instead of
+        // burning their retry budget — where shedding stays `Busy`.
         let (p, _) = proxy(vec![
             parts_backend(7, 9),
             Fake::new(|_| Err(NetError::Io(std::io::ErrorKind::ConnectionRefused, "no".into()))),
         ]);
-        assert_eq!(p.handle(Request::Ping), Response::Busy);
+        match p.handle(Request::Ping) {
+            Response::Unavailable { detail } => assert!(detail.contains("backend 1"), "{detail}"),
+            other => panic!("expected typed unavailable, got {other:?}"),
+        }
         let snap = p.obs().snapshot();
         assert_eq!(snap.counter("proxy_backend1_unavailable_total"), Some(1));
         assert_eq!(snap.counter("proxy_backend1_shed_total"), Some(0));
+        assert_eq!(snap.counter("proxy_unavailable_total"), Some(1));
+    }
+
+    /// A two-backend replicated cluster (rf 2): backend 0 is hard-down,
+    /// backend 1 is a live follower of range 0 that accepts promotion
+    /// and serves the merged data.
+    fn replicated_pair_with_dead_primary() -> (ProxyService, Vec<Arc<Fake>>) {
+        let dead =
+            Fake::new(|_| Err(NetError::Io(std::io::ErrorKind::ConnectionRefused, "no".into())));
+        let follower = Fake::ok(|r| match r {
+            Request::Replicate { epoch, promote: true, .. } => {
+                Response::ReplicateAck { epoch: *epoch, applied: 0 }
+            }
+            Request::AggregateParts { .. } => {
+                Response::AggregateParts { parts: Some(parts(7, 9)) }
+            }
+            Request::AggregatePartsBatch { entities } => Response::AggregatePartsBatch {
+                parts: entities.iter().map(|_| Some(parts(7, 9))).collect(),
+            },
+            Request::Upload { .. } => Response::UploadAccepted,
+            _ => Response::Pong,
+        });
+        proxy_with(
+            vec![dead, follower],
+            ProxyConfig { replication_factor: 2, ..ProxyConfig::default() },
+        )
+    }
+
+    #[test]
+    fn read_fails_over_promotes_the_follower_and_answers_from_it() {
+        let (p, _) = replicated_pair_with_dead_primary();
+        match p.handle(Request::FetchAggregate { entity: EntityId::new(7) }) {
+            Response::Aggregate { aggregate: Some(agg) } => assert_eq!(agg.histories, 9),
+            other => panic!("expected the follower's aggregate, got {other:?}"),
+        }
+        let snap = p.obs().snapshot();
+        assert_eq!(snap.counter("proxy_backend0_read_failover_total"), Some(1));
+        assert_eq!(snap.counter("proxy_promotions_total"), Some(1));
+        assert_eq!(snap.gauge("proxy_range0_primary"), Some(1), "route moved to backend 1");
+        assert_eq!(snap.gauge("proxy_range0_epoch"), Some(1), "promoted at epoch 1");
+        assert_eq!(snap.gauge("proxy_range1_primary"), Some(1), "backend 1's own range stayed");
+        // The route is learned: the next read goes straight to the
+        // promoted primary, no failover round.
+        match p.handle(Request::FetchAggregate { entity: EntityId::new(7) }) {
+            Response::Aggregate { aggregate: Some(agg) } => assert_eq!(agg.histories, 9),
+            other => panic!("expected the follower's aggregate, got {other:?}"),
+        }
+        let snap = p.obs().snapshot();
+        assert_eq!(snap.counter("proxy_backend0_read_failover_total"), Some(1));
+        assert_eq!(snap.counter("proxy_promotions_total"), Some(1));
+    }
+
+    #[test]
+    fn upload_fails_over_to_the_promoted_follower() {
+        let (p, fakes) = replicated_pair_with_dead_primary();
+        // A record id owned by range 0 — its primary is the dead backend.
+        let rid = (0u64..)
+            .map(|i| {
+                let mut bytes = [0u8; 32];
+                bytes[..8].copy_from_slice(&i.to_le_bytes());
+                RecordId::from_bytes(bytes)
+            })
+            .find(|rid| shard_index(rid.as_bytes(), 2) == 0)
+            .unwrap();
+        let range = p.backend_for_record(&rid);
+        assert_eq!(range, 0);
+        assert_eq!(p.primary_of(range), 0, "route starts at the born owner");
+        // Routing is what's under test; the upload payload itself is
+        // opaque to the proxy, so a forged-token shell suffices.
+        let upload = orsp_client::UploadRequest {
+            record_id: rid,
+            entity: EntityId::new(7),
+            interaction: orsp_types::Interaction {
+                kind: orsp_types::InteractionKind::Visit,
+                start: orsp_types::Timestamp::EPOCH,
+                duration: orsp_types::SimDuration::minutes(30),
+                distance_travelled_m: 100.0,
+                group_size: 1,
+            },
+            token: orsp_crypto::Token {
+                message: [0; 32],
+                signature: orsp_crypto::BigUint::from_u64(12345),
+            },
+            release_at: orsp_types::Timestamp::EPOCH,
+        };
+        match p.handle(Request::Upload { upload, now: orsp_types::Timestamp::EPOCH }) {
+            Response::UploadAccepted => {}
+            other => panic!("expected the follower to take the write, got {other:?}"),
+        }
+        assert_eq!(p.primary_of(0), 1, "route moved");
+        let snap = p.obs().snapshot();
+        assert_eq!(snap.counter("proxy_backend0_write_failover_total"), Some(1));
+        assert_eq!(snap.counter("proxy_promotions_total"), Some(1));
+        assert!(fakes[1].calls.load(Ordering::Relaxed) >= 2, "promote + retried upload");
+    }
+
+    #[test]
+    fn stale_epoch_refusal_teaches_the_proxy_the_real_epoch() {
+        // The follower was already promoted to epoch 41 by another proxy
+        // (or survived a previous incarnation): the first promote at
+        // epoch 1 is refused with the real epoch, the second adopts it.
+        let dead =
+            Fake::new(|_| Err(NetError::Io(std::io::ErrorKind::ConnectionRefused, "no".into())));
+        let promoted_before = AtomicU64::new(0);
+        let follower = Fake::ok(move |r| match r {
+            Request::Replicate { range, epoch, promote: true, .. } => {
+                if *epoch <= 41 && promoted_before.fetch_add(1, Ordering::Relaxed) == 0 {
+                    Response::StaleEpoch { range: *range, current: 41 }
+                } else {
+                    Response::ReplicateAck { epoch: *epoch, applied: 0 }
+                }
+            }
+            Request::AggregateParts { .. } => {
+                Response::AggregateParts { parts: Some(parts(7, 9)) }
+            }
+            _ => Response::Pong,
+        });
+        let (p, _) = proxy_with(
+            vec![dead, follower],
+            ProxyConfig { replication_factor: 2, ..ProxyConfig::default() },
+        );
+        match p.handle(Request::FetchAggregate { entity: EntityId::new(7) }) {
+            Response::Aggregate { aggregate: Some(agg) } => assert_eq!(agg.histories, 9),
+            other => panic!("expected failover through the stale refusal, got {other:?}"),
+        }
+        let snap = p.obs().snapshot();
+        assert_eq!(snap.gauge("proxy_range0_epoch"), Some(42), "re-promoted above the refusal");
+        assert_eq!(snap.counter("proxy_promotions_total"), Some(1));
+    }
+
+    #[test]
+    fn a_demoted_backends_refusal_value_reroutes_like_a_dead_one() {
+        // Backend 0 is alive but has demoted itself (it answers the wire
+        // `Unavailable` a follower's pre-upload gate produces) — the
+        // proxy must treat that as hard-down and promote around it.
+        let demoted = Fake::ok(|r| match r {
+            Request::Replicate { .. } | Request::CatchUp { .. } => {
+                Response::Unavailable { detail: "range 0 demoted".into() }
+            }
+            _ => Response::Unavailable { detail: "backend 0 range 0 demoted; not primary".into() },
+        });
+        let follower = Fake::ok(|r| match r {
+            Request::Replicate { epoch, promote: true, .. } => {
+                Response::ReplicateAck { epoch: *epoch, applied: 0 }
+            }
+            Request::AggregateParts { .. } => {
+                Response::AggregateParts { parts: Some(parts(7, 3)) }
+            }
+            _ => Response::Pong,
+        });
+        let (p, _) = proxy_with(
+            vec![demoted, follower],
+            ProxyConfig { replication_factor: 2, ..ProxyConfig::default() },
+        );
+        match p.handle(Request::FetchAggregate { entity: EntityId::new(7) }) {
+            Response::Aggregate { aggregate } => assert!(aggregate.is_none(), "3 < floor of 5"),
+            other => panic!("expected the follower's answer, got {other:?}"),
+        }
+        let snap = p.obs().snapshot();
+        assert_eq!(snap.counter("proxy_backend0_unavailable_total"), Some(1));
+        assert_eq!(snap.gauge("proxy_range0_primary"), Some(1));
+    }
+
+    #[test]
+    fn replication_rpcs_are_refused_at_the_public_front_door() {
+        let (p, fakes) = proxy(vec![parts_backend(7, 9)]);
+        for request in [
+            Request::Replicate { range: 0, epoch: 1, promote: true, items: vec![] },
+            Request::CatchUp { range: 0, cursor: 0 },
+        ] {
+            match p.handle(request) {
+                Response::Error { detail } => {
+                    assert!(detail.contains("cluster-internal"), "{detail}")
+                }
+                other => panic!("expected refusal, got {other:?}"),
+            }
+        }
+        assert_eq!(fakes[0].calls.load(Ordering::Relaxed), 0, "refusal must not fan out");
+        assert_eq!(p.obs().snapshot().counter("proxy_internal_refused_total"), Some(2));
     }
 
     #[test]

@@ -538,6 +538,34 @@ impl ShardedIngest {
         out
     }
 
+    /// Fold a recovered range of histories and spent-token keys into the
+    /// serving domain — the promotion path: a follower elected primary
+    /// absorbs the replicated range it had been applying to its dormant
+    /// engine. Replace semantics per record (the absorbed copy is the
+    /// authoritative one; a record already present is superseded, not
+    /// double-appended), so absorbing is idempotent across repeated
+    /// promotions of the same range. `accepted` grows by the number of
+    /// *new* interactions absorbed, keeping the counter an
+    /// order-independent sum.
+    pub fn absorb_histories<R, T>(&self, records: R, spent_tokens: T)
+    where
+        R: IntoIterator<Item = (RecordId, StoredHistory)>,
+        T: IntoIterator<Item = [u8; 32]>,
+    {
+        for (rid, stored) in records {
+            let shard = &self.shards[shard_index(rid.as_bytes(), self.shards.len())];
+            let _rank = lockorder::enter(rank::STORE_SHARD);
+            self.store_locks.fetch_add(1, Relaxed);
+            let mut store = shard.store.lock();
+            let prior = store.get(&rid).map(|s| s.history.len()).unwrap_or(0);
+            store.delete_record(&rid);
+            let absorbed = stored.history.len();
+            store.insert_history(rid, stored);
+            self.stats.accepted.fetch_add(absorbed.saturating_sub(prior) as u64, Relaxed);
+        }
+        self.seed_spent_tokens(spent_tokens);
+    }
+
     /// Collapse back into the single-threaded service (drain/checkpoint
     /// path). Consumes the domain, so no locks are contended.
     pub fn into_merged(self) -> (HistoryStore, IngestStats) {

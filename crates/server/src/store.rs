@@ -95,6 +95,13 @@ impl HistoryStore {
         self.records.iter()
     }
 
+    /// Look up one record. Server-internal (the replication promote-fold
+    /// compares its absorbed copy against the one already serving) — no
+    /// public RPC retrieves an individual record, by design.
+    pub fn get(&self, id: &RecordId) -> Option<&StoredHistory> {
+        self.records.get(id)
+    }
+
     /// Server-internal: histories for one entity, via the entity index.
     pub fn histories_for_entity(
         &self,

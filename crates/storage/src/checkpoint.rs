@@ -22,13 +22,21 @@
 //!   n_tokens     u64       (version ≥ 2 only)
 //!   per token (sorted by key bytes):
 //!     ledger_key [u8; 32]
+//!   epoch        u64       (version ≥ 3 only)
 //! ```
 //!
 //! Records and tokens are sorted so the same state always encodes to
 //! the same bytes, regardless of hash-map iteration order — checkpoints
 //! are comparable across runs and thread counts, like everything else
 //! in this repo. Version-1 checkpoints (written before the spend ledger
-//! became durable) decode with an empty token set.
+//! became durable) decode with an empty token set; version-2 ones
+//! (written before replication) decode with epoch 0.
+//!
+//! The **epoch** is the replication fence for the range this directory
+//! holds: monotonically increasing, bumped when a proxy promotes a
+//! follower over a dead primary, and persisted here so a rejoining
+//! stale primary cannot forget it was deposed. Single-copy deployments
+//! never move it past 0.
 
 use crate::error::{Result, StorageError};
 use orsp_server::{crc32, HistoryStore, IngestStats};
@@ -38,7 +46,8 @@ use orsp_types::{
 use std::collections::HashSet;
 
 const CHECKPOINT_MAGIC: u32 = 0x4F43_4B50; // "OCKP"
-const CHECKPOINT_VERSION: u8 = 2;
+const CHECKPOINT_VERSION: u8 = 3;
+const CHECKPOINT_V2: u8 = 2;
 const CHECKPOINT_V1: u8 = 1;
 
 fn kind_to_u8(kind: InteractionKind) -> u8 {
@@ -51,11 +60,26 @@ fn kind_from_u8(v: u8) -> Option<InteractionKind> {
 }
 
 /// Serialize `store` + `stats` + the spent-token ledger into a
-/// checkpoint buffer.
+/// checkpoint buffer at epoch 0.
+///
+/// This is also the byte layout [`crate::state_digest`] hashes, so the
+/// epoch stays pinned at 0 here: two replicas holding the same records
+/// and tokens must digest equal even when their fencing epochs were
+/// bumped at different moments.
 pub fn encode_checkpoint(
     store: &HistoryStore,
     stats: &IngestStats,
     spent_tokens: &HashSet<[u8; 32]>,
+) -> Vec<u8> {
+    encode_checkpoint_with_epoch(store, stats, spent_tokens, 0)
+}
+
+/// Serialize a checkpoint buffer carrying an explicit replication epoch.
+pub fn encode_checkpoint_with_epoch(
+    store: &HistoryStore,
+    stats: &IngestStats,
+    spent_tokens: &HashSet<[u8; 32]>,
+    epoch: u64,
 ) -> Vec<u8> {
     let mut entries: Vec<_> = store.iter().collect();
     entries.sort_by_key(|(id, _)| *id.as_bytes());
@@ -90,6 +114,7 @@ pub fn encode_checkpoint(
     for key in tokens {
         payload.extend_from_slice(key);
     }
+    payload.extend_from_slice(&epoch.to_le_bytes());
 
     let mut out = Vec::with_capacity(13 + payload.len());
     out.extend_from_slice(&CHECKPOINT_MAGIC.to_le_bytes());
@@ -144,12 +169,13 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Decode a checkpoint buffer back into its store, counters, and
-/// spent-token ledger (empty for version-1 checkpoints).
+/// Decode a checkpoint buffer back into its store, counters,
+/// spent-token ledger (empty for version-1 checkpoints), and
+/// replication epoch (0 for pre-version-3 checkpoints).
 pub fn decode_checkpoint(
     name: &str,
     data: &[u8],
-) -> Result<(HistoryStore, IngestStats, HashSet<[u8; 32]>)> {
+) -> Result<(HistoryStore, IngestStats, HashSet<[u8; 32]>, u64)> {
     let corrupt = |detail: String| StorageError::Corrupt { name: name.to_string(), detail };
     if data.len() < 13 {
         return Err(corrupt("shorter than the fixed header".into()));
@@ -158,7 +184,7 @@ pub fn decode_checkpoint(
         return Err(corrupt("bad magic".into()));
     }
     let version = data[4];
-    if version != CHECKPOINT_VERSION && version != CHECKPOINT_V1 {
+    if version != CHECKPOINT_VERSION && version != CHECKPOINT_V2 && version != CHECKPOINT_V1 {
         return Err(corrupt(format!("unsupported version {version}")));
     }
     let len = u32::from_le_bytes(data[5..9].try_into().unwrap()) as usize;
@@ -206,16 +232,17 @@ pub fn decode_checkpoint(
         }
     }
     let mut spent_tokens = HashSet::new();
-    if version >= CHECKPOINT_VERSION {
+    if version >= CHECKPOINT_V2 {
         let n_tokens = c.u64()?;
         for _ in 0..n_tokens {
             spent_tokens.insert(<[u8; 32]>::try_from(c.take(32)?).unwrap());
         }
     }
+    let epoch = if version >= CHECKPOINT_VERSION { c.u64()? } else { 0 };
     if c.at != payload.len() {
         return Err(corrupt(format!("{} trailing bytes after records", payload.len() - c.at)));
     }
-    Ok((store, stats, spent_tokens))
+    Ok((store, stats, spent_tokens, epoch))
 }
 
 #[cfg(test)]
@@ -252,10 +279,11 @@ mod tests {
     fn round_trips_store_stats_and_tokens() {
         let (store, stats, tokens) = populated();
         let buf = encode_checkpoint(&store, &stats, &tokens);
-        let (decoded_store, decoded_stats, decoded_tokens) =
+        let (decoded_store, decoded_stats, decoded_tokens, epoch) =
             decode_checkpoint("ckpt", &buf).unwrap();
         assert_eq!(decoded_stats, stats);
         assert_eq!(decoded_tokens, tokens);
+        assert_eq!(epoch, 0);
         assert_eq!(decoded_store.len(), store.len());
         assert_eq!(decoded_store.total_interactions(), store.total_interactions());
         for (id, stored) in store.iter() {
@@ -273,23 +301,59 @@ mod tests {
         );
     }
 
+    /// Re-frame a current-version buffer as an older version: strip
+    /// `strip` payload bytes off the end and roll the version byte back.
+    fn reframed(current: &[u8], version: u8, strip: usize) -> Vec<u8> {
+        let payload = &current[13..current.len() - strip];
+        let mut out = Vec::with_capacity(13 + payload.len());
+        out.extend_from_slice(&CHECKPOINT_MAGIC.to_le_bytes());
+        out.push(version);
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(payload).to_le_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+
     #[test]
     fn version_1_checkpoints_decode_with_an_empty_token_set() {
-        // A v1 checkpoint is a v2 one minus the token section, with the
-        // version byte rolled back — exactly what pre-ledger builds wrote.
+        // A v1 checkpoint is the current one minus the epoch and token
+        // sections, with the version byte rolled back — exactly what
+        // pre-ledger builds wrote (n_tokens=0 is 8 bytes, epoch 8 more).
         let (store, stats, _) = populated();
-        let v2 = encode_checkpoint(&store, &stats, &HashSet::new());
-        let payload = &v2[13..v2.len() - 8]; // strip header and n_tokens=0
-        let mut v1 = Vec::with_capacity(13 + payload.len());
-        v1.extend_from_slice(&CHECKPOINT_MAGIC.to_le_bytes());
-        v1.push(CHECKPOINT_V1);
-        v1.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        v1.extend_from_slice(&crc32(payload).to_le_bytes());
-        v1.extend_from_slice(payload);
-        let (s, st, tokens) = decode_checkpoint("old", &v1).unwrap();
+        let current = encode_checkpoint(&store, &stats, &HashSet::new());
+        let v1 = reframed(&current, CHECKPOINT_V1, 16);
+        let (s, st, tokens, epoch) = decode_checkpoint("old", &v1).unwrap();
         assert_eq!(s.len(), store.len());
         assert_eq!(st, stats);
         assert!(tokens.is_empty());
+        assert_eq!(epoch, 0);
+    }
+
+    #[test]
+    fn version_2_checkpoints_decode_with_epoch_zero() {
+        // A v2 checkpoint carries tokens but no epoch field.
+        let (store, stats, tokens) = populated();
+        let current = encode_checkpoint(&store, &stats, &tokens);
+        let v2 = reframed(&current, CHECKPOINT_V2, 8);
+        let (s, st, decoded_tokens, epoch) = decode_checkpoint("old", &v2).unwrap();
+        assert_eq!(s.len(), store.len());
+        assert_eq!(st, stats);
+        assert_eq!(decoded_tokens, tokens);
+        assert_eq!(epoch, 0);
+    }
+
+    #[test]
+    fn epoch_round_trips_without_touching_the_epoch_free_encoding() {
+        let (store, stats, tokens) = populated();
+        let fenced = encode_checkpoint_with_epoch(&store, &stats, &tokens, 7);
+        let (_, _, _, epoch) = decode_checkpoint("fenced", &fenced).unwrap();
+        assert_eq!(epoch, 7);
+        // Same state, different epochs: identical except the epoch field
+        // — the digest encoding (epoch pinned to 0) stays comparable.
+        let zero = encode_checkpoint(&store, &stats, &tokens);
+        assert_eq!(fenced.len(), zero.len());
+        assert_ne!(fenced, zero);
+        assert_eq!(fenced[13..fenced.len() - 8], zero[13..zero.len() - 8]);
     }
 
     #[test]
@@ -317,9 +381,10 @@ mod tests {
         let store = HistoryStore::new();
         let stats = IngestStats::default();
         let buf = encode_checkpoint(&store, &stats, &HashSet::new());
-        let (s, st, tokens) = decode_checkpoint("c", &buf).unwrap();
+        let (s, st, tokens, epoch) = decode_checkpoint("c", &buf).unwrap();
         assert!(s.is_empty());
         assert_eq!(st, stats);
         assert!(tokens.is_empty());
+        assert_eq!(epoch, 0);
     }
 }

@@ -38,7 +38,7 @@
 //! manifest write), every segment present is scan-replayed under the
 //! same tail rule.
 
-use crate::checkpoint::{decode_checkpoint, encode_checkpoint};
+use crate::checkpoint::{decode_checkpoint, encode_checkpoint_with_epoch};
 use crate::dir::Dir;
 use crate::error::{Result, StorageError};
 use crate::manifest::{load_latest, write_manifest, Manifest};
@@ -70,7 +70,7 @@ pub enum FsyncPolicy {
 }
 
 /// Engine configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct StorageOptions {
     /// Number of per-shard logs. Fixed at directory creation; reopening
     /// with a different value adopts the directory's recorded count.
@@ -123,6 +123,11 @@ pub struct RecoveryReport {
     /// replayed tail. Seeding the serving tier's ledger with these keeps
     /// tokens spent across a crash (no post-crash replay window).
     pub spent_tokens: std::collections::HashSet<[u8; 32]>,
+    /// Replication epoch recovered from the checkpoint (0 when no
+    /// checkpoint exists or it predates version 3). The fence survives
+    /// a restart: a deposed primary reopens already knowing it was
+    /// deposed as of its last durable bump.
+    pub epoch: u64,
 }
 
 struct Shard {
@@ -172,6 +177,9 @@ pub struct StorageEngine {
     opts: StorageOptions,
     shards: Vec<Mutex<Shard>>,
     meta: Mutex<Meta>,
+    /// Replication epoch for the range this directory holds; written
+    /// into every checkpoint. 0 for single-copy deployments.
+    epoch: std::sync::atomic::AtomicU64,
     metrics: EngineMetrics,
 }
 
@@ -207,6 +215,7 @@ impl StorageEngine {
         let mut stats = IngestStats::default();
         let mut spent_tokens = std::collections::HashSet::new();
         let mut from_checkpoint = false;
+        let mut epoch = 0u64;
         let replay_from: Vec<u64> = match &manifest {
             Some(m) => {
                 if let Some(gen) = m.checkpoint {
@@ -217,10 +226,11 @@ impl StorageEngine {
                             m.gen
                         ))
                     })?;
-                    let (s, st, tokens) = decode_checkpoint(&name, &data)?;
+                    let (s, st, tokens, e) = decode_checkpoint(&name, &data)?;
                     store = s;
                     stats = st;
                     spent_tokens = tokens;
+                    epoch = e;
                     from_checkpoint = true;
                 }
                 m.replay_from.clone()
@@ -348,6 +358,7 @@ impl StorageEngine {
                 checkpoint: new_manifest.checkpoint,
                 replay_from: new_manifest.replay_from.clone(),
             }),
+            epoch: std::sync::atomic::AtomicU64::new(epoch),
             metrics,
         };
         let report = RecoveryReport {
@@ -359,6 +370,7 @@ impl StorageEngine {
             replay_us,
             from_checkpoint,
             spent_tokens,
+            epoch,
         };
         Ok((engine, report))
     }
@@ -382,6 +394,18 @@ impl StorageEngine {
     /// Which segment log an entry for `record_id` appends to.
     pub fn shard_of(&self, record_id: &orsp_types::RecordId) -> usize {
         shard_index(record_id.as_bytes(), self.shards.len())
+    }
+
+    /// Current replication epoch (recovered from the checkpoint, or the
+    /// last [`Self::set_epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Adopt a new replication epoch. Only the next checkpoint makes it
+    /// durable — fencing callers checkpoint immediately after bumping.
+    pub fn set_epoch(&self, epoch: u64) {
+        self.epoch.store(epoch, std::sync::atomic::Ordering::SeqCst);
     }
 
     /// Durably log one accepted entry.
@@ -523,10 +547,11 @@ impl StorageEngine {
         let mut guards: Vec<_> = self.shards.iter().map(|s| s.lock()).collect();
         let gen = meta.next_gen;
 
-        // 1. The snapshot, synced before anything points at it.
+        // 1. The snapshot, synced before anything points at it. The
+        // current epoch rides along so the fence survives restarts.
         let ckpt_name = checkpoint_name(gen);
         let mut file = self.dir.create(&ckpt_name)?;
-        file.append(&encode_checkpoint(store, stats, spent_tokens))?;
+        file.append(&encode_checkpoint_with_epoch(store, stats, spent_tokens, self.epoch()))?;
         file.sync()?;
 
         // 2. Rotate every shard; the fresh segments are the frontier.
@@ -833,6 +858,36 @@ mod tests {
                 assert_eq!(report.records_replayed, 0, "Never syncs nothing before a crash");
             }
         }
+    }
+
+    #[test]
+    fn epoch_survives_checkpoint_and_recovery() {
+        let dir = SimDir::new();
+        {
+            let (engine, report) =
+                StorageEngine::open(Arc::new(dir.clone()), opts(1, 1 << 20, FsyncPolicy::Always))
+                    .unwrap();
+            assert_eq!(report.epoch, 0);
+            assert_eq!(engine.epoch(), 0);
+            let mut store = report.store;
+            let mut stats = report.stats;
+            for i in 0..4 {
+                let e = entry(i);
+                engine.append(&e).unwrap();
+                store.append(e.record_id, e.entity, e.interaction).unwrap();
+                stats.accepted += 1;
+            }
+            engine.set_epoch(3);
+            engine.checkpoint(&store, &stats, &no_tokens()).unwrap();
+        }
+        let (engine, report) = StorageEngine::open(
+            Arc::new(dir.reopen()),
+            opts(1, 1 << 20, FsyncPolicy::Always),
+        )
+        .unwrap();
+        assert_eq!(report.epoch, 3, "the fence must survive a restart");
+        assert_eq!(engine.epoch(), 3);
+        assert_eq!(report.stats.accepted, 4);
     }
 
     #[test]

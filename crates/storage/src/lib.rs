@@ -41,12 +41,12 @@ pub mod reshard;
 pub mod segment;
 pub mod sim;
 
-pub use checkpoint::{decode_checkpoint, encode_checkpoint};
+pub use checkpoint::{decode_checkpoint, encode_checkpoint, encode_checkpoint_with_epoch};
 pub use dir::{Dir, FsDir, SegmentFile};
 pub use engine::{FsyncPolicy, RecoveryReport, StorageEngine, StorageOptions};
 pub use error::{Result, StorageError};
 pub use manifest::{load_latest, write_manifest, Manifest};
-pub use reshard::{reshard, state_digest, ReshardReport};
+pub use reshard::{reshard, scan_source, state_digest, ReshardReport, SourceScan};
 pub use segment::{
     checkpoint_name, manifest_name, parse_checkpoint_name, parse_manifest_name,
     parse_segment_name, segment_name, SegmentWriter, SEGMENT_HEADER_BYTES,

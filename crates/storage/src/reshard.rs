@@ -92,20 +92,33 @@ pub fn state_digest(
     crc32(&encode_checkpoint(store, stats, spent_tokens))
 }
 
-/// The source directory's state, read without writing anything.
-struct SourceScan {
-    store: HistoryStore,
-    stats: IngestStats,
-    spent_tokens: HashSet<[u8; 32]>,
-    shard_count: u32,
-    records_replayed: u64,
-    torn_tails: u64,
+/// A directory's state, read without writing anything.
+pub struct SourceScan {
+    /// Every stored history, checkpoint seed plus replayed tail.
+    pub store: HistoryStore,
+    /// Ingest counters as of the checkpoint plus replayed accepts.
+    pub stats: IngestStats,
+    /// The spent-token ledger, checkpoint plus tail.
+    pub spent_tokens: HashSet<[u8; 32]>,
+    /// Shard count recorded in the directory's manifest.
+    pub shard_count: u32,
+    /// Records replayed from segment tails.
+    pub records_replayed: u64,
+    /// Torn final tails tolerated (valid prefix used, nothing repaired).
+    pub torn_tails: u64,
+    /// Replication epoch from the checkpoint (0 if none).
+    pub epoch: u64,
 }
 
 /// Read-only mirror of recovery's read phase: manifest → checkpoint →
 /// CRC-checked tail replay. Tolerates a torn tail only in a shard's
 /// final segment (using its valid prefix) and repairs nothing.
-fn scan_source(dir: &dyn Dir) -> Result<SourceScan> {
+///
+/// Public because it is the cluster's anti-entropy primitive too: a
+/// replica primary streams `CatchUp` chunks straight out of this scan,
+/// and both sides of a catch-up session prove convergence by comparing
+/// [`state_digest`]s over it.
+pub fn scan_source(dir: &dyn Dir) -> Result<SourceScan> {
     let names = dir.list()?;
     let manifest = load_latest(dir)?.ok_or_else(|| {
         StorageError::Unrecoverable(
@@ -133,6 +146,7 @@ fn scan_source(dir: &dyn Dir) -> Result<SourceScan> {
     let mut store = HistoryStore::new();
     let mut stats = IngestStats::default();
     let mut spent_tokens = HashSet::new();
+    let mut epoch = 0u64;
     if let Some(gen) = manifest.checkpoint {
         let name = checkpoint_name(gen);
         let data = dir.read(&name).map_err(|_| {
@@ -141,10 +155,11 @@ fn scan_source(dir: &dyn Dir) -> Result<SourceScan> {
                 manifest.gen
             ))
         })?;
-        let (s, st, tokens) = decode_checkpoint(&name, &data)?;
+        let (s, st, tokens, e) = decode_checkpoint(&name, &data)?;
         store = s;
         stats = st;
         spent_tokens = tokens;
+        epoch = e;
     }
 
     let mut records_replayed = 0u64;
@@ -211,6 +226,7 @@ fn scan_source(dir: &dyn Dir) -> Result<SourceScan> {
         shard_count: shard_count as u32,
         records_replayed,
         torn_tails,
+        epoch,
     })
 }
 

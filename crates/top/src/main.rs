@@ -133,22 +133,55 @@ fn render(
 
     let backends = backend_rows(stats);
     if !backends.is_empty() {
+        // The table is built from the proxy's *own* counters and gauges,
+        // so every backend keeps its row — including one whose Stats
+        // scrape just failed (it simply shows a non-zero `unreach` and
+        // stale last-known numbers elsewhere).
         out.push_str("\nBACKENDS\n");
         out.push_str(&format!(
-            "  {:<8} {:>9} {:>8} {:>9} {:>12} {:>8} {:>12}\n",
-            "backend", "attempts", "busy", "timeouts", "disconnects", "stale", "unreachable"
+            "  {:<8} {:>9} {:>9} {:>8} {:>9} {:>12} {:>8} {:>8} {:>8} {:>6}\n",
+            "backend",
+            "forwarded",
+            "attempts",
+            "busy",
+            "timeouts",
+            "disconnects",
+            "stale",
+            "unreach",
+            "failover",
+            "lag"
         ));
         for (id, row) in backends {
+            let failover = row.get("read_failover").copied().unwrap_or(0)
+                + row.get("write_failover").copied().unwrap_or(0);
+            let lag = stats.gauge(&format!("backend{id}_replication_lag")).unwrap_or(0);
             out.push_str(&format!(
-                "  {:<8} {:>9} {:>8} {:>9} {:>12} {:>8} {:>12}\n",
+                "  {:<8} {:>9} {:>9} {:>8} {:>9} {:>12} {:>8} {:>8} {:>8} {:>6}\n",
                 id,
+                row.get("forwarded").copied().unwrap_or(0),
                 row.get("attempts").copied().unwrap_or(0),
                 row.get("busy").copied().unwrap_or(0),
                 row.get("timeouts").copied().unwrap_or(0),
                 row.get("disconnects").copied().unwrap_or(0),
                 row.get("stale_reconnects").copied().unwrap_or(0),
                 row.get("unreachable").copied().unwrap_or(0),
+                failover,
+                lag,
             ));
+        }
+    }
+
+    let ranges = range_rows(stats);
+    if !ranges.is_empty() {
+        out.push_str("\nRANGES\n");
+        out.push_str(&format!("  {:<6} {:>8} {:>7}  {}\n", "range", "primary", "epoch", ""));
+        for (range, primary, epoch) in ranges {
+            let note = if primary == range as i64 {
+                String::new()
+            } else {
+                format!("failed over (born {range})")
+            };
+            out.push_str(&format!("  {range:<6} {primary:>8} {epoch:>7}  {note}\n"));
         }
     }
 
@@ -180,16 +213,28 @@ fn render(
     out
 }
 
-/// Fold `proxy_backend{i}_client_*_total` and `backend{i}_unreachable`
-/// counters into one row per backend id.
+/// Fold `proxy_backend{i}_*` and `backend{i}_unreachable` counters into
+/// one row per backend id. Rows come from the proxy's own registry —
+/// `proxy_backend{i}_forwarded_total` exists for every backend from the
+/// first snapshot — so a backend whose scrape failed this poll still
+/// renders instead of vanishing from the table.
 fn backend_rows(stats: &StatsSnapshot) -> Vec<(u64, HashMap<&'static str, u64>)> {
-    const FIELDS: &[&str] =
+    const CLIENT_FIELDS: &[&str] =
         &["attempts", "busy", "timeouts", "disconnects", "exhausted", "stale_reconnects"];
+    const PROXY_FIELDS: &[&str] = &["forwarded", "read_failover", "write_failover"];
     let mut rows: HashMap<u64, HashMap<&'static str, u64>> = HashMap::new();
     for (name, value) in &stats.counters {
         if let Some(rest) = name.strip_prefix("proxy_backend") {
-            for field in FIELDS {
+            for field in CLIENT_FIELDS {
                 let suffix = format!("_client_{field}_total");
+                if let Some(id) = rest.strip_suffix(suffix.as_str()) {
+                    if let Ok(id) = id.parse::<u64>() {
+                        rows.entry(id).or_default().insert(field, *value);
+                    }
+                }
+            }
+            for field in PROXY_FIELDS {
+                let suffix = format!("_{field}_total");
                 if let Some(id) = rest.strip_suffix(suffix.as_str()) {
                     if let Ok(id) = id.parse::<u64>() {
                         rows.entry(id).or_default().insert(field, *value);
@@ -206,5 +251,33 @@ fn backend_rows(stats: &StatsSnapshot) -> Vec<(u64, HashMap<&'static str, u64>)>
     }
     let mut out: Vec<(u64, HashMap<&'static str, u64>)> = rows.into_iter().collect();
     out.sort_by_key(|(id, _)| *id);
+    out
+}
+
+/// Fold the proxy's `proxy_range{r}_primary` / `proxy_range{r}_epoch`
+/// routing gauges into `(range, primary, epoch)` rows — the per-range
+/// view of who serves what and at which fencing epoch.
+fn range_rows(stats: &StatsSnapshot) -> Vec<(u64, i64, i64)> {
+    let mut rows: HashMap<u64, (Option<i64>, Option<i64>)> = HashMap::new();
+    for (name, value) in &stats.gauges {
+        if let Some(rest) = name.strip_prefix("proxy_range") {
+            if let Some(id) = rest.strip_suffix("_primary") {
+                if let Ok(id) = id.parse::<u64>() {
+                    rows.entry(id).or_default().0 = Some(*value);
+                }
+            } else if let Some(id) = rest.strip_suffix("_epoch") {
+                if let Ok(id) = id.parse::<u64>() {
+                    rows.entry(id).or_default().1 = Some(*value);
+                }
+            }
+        }
+    }
+    let mut out: Vec<(u64, i64, i64)> = rows
+        .into_iter()
+        .map(|(r, (primary, epoch))| {
+            (r, primary.unwrap_or(r as i64), epoch.unwrap_or(0))
+        })
+        .collect();
+    out.sort_by_key(|(r, _, _)| *r);
     out
 }

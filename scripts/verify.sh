@@ -40,6 +40,11 @@ cargo test -q --release -p orsp-proxy --test proxy_end_to_end
 echo "== trace causality (proxy + 2 backends over TCP: one connected span tree, proxy root to wal_fsync) =="
 cargo test -q --release -p orsp-proxy --test trace_end_to_end
 
+echo "== replica suites (topology/apply/catch-up units; SIGKILL-the-primary failover e2e; mid-catch-up power-cut matrix) =="
+cargo test -q --release -p orsp-replica --lib
+cargo test -q --release -p orsp-replica --test failover_e2e
+cargo test -q --release -p orsp-replica --test catchup_crash
+
 echo "== reshard 2->4 round trip (digest-verified, source untouched) =="
 cargo test -q --release -p orsp-storage --lib reshard
 
@@ -74,6 +79,10 @@ echo "== group-commit bench meets the 20x durable-ingest gate =="
 # with at least 4 uploaders, one fsync per group.
 cargo run --release -p orsp-bench --bin group_commit
 grep -q '"meets_20x_gate": true' results/BENCH_group_commit.json
+
+echo "== replication overhead bench: sync RF=2 under 2x single-copy (or the documented 1-core serial-fsync exception) =="
+cargo run --release -p orsp-bench --bin replication_overhead
+grep -q '"overhead_gate_ok": true' results/BENCH_replication_overhead.json
 
 # Formatting is advisory: rustfmt may be absent in minimal toolchains.
 if command -v rustfmt >/dev/null 2>&1; then
