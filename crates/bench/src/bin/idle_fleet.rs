@@ -1,0 +1,571 @@
+//! Idle fleet — the connection-scaling experiment the reactor exists for.
+//!
+//! The repository's device population is mostly idle: thousands of
+//! sensors hold a connection open and upload sparsely. A
+//! thread-per-connection server pins a worker (or a queue slot) per
+//! connection, so its ceiling is `workers + queue_depth` regardless of
+//! how idle the fleet is. The event loop's ceiling is connection
+//! *slots*, which cost a slab entry each, not a thread.
+//!
+//! Two phases, each run on both transports with the same `workers = 4`:
+//!
+//! 1. **Idle fleet**: N connections (default 5 000) opened across a few
+//!    client threads, each issuing one ping per sparse round with idle
+//!    gaps between rounds. Records how many connections survived every
+//!    round, Busy sheds, stalls (request timeouts), and ping p99.
+//!    The event loop must hold the whole fleet with zero sheds; the
+//!    threaded server at the same config must shed or stall — that
+//!    contrast is the point of the refactor.
+//! 2. **Closed loop**: a few always-busy clients, to show the refactor
+//!    did not tax the saturated path — event-loop throughput must stay
+//!    within 10% of the threaded (pre-refactor) number.
+//!
+//! Writes `results/BENCH_idle_fleet.json` (gated in `scripts/verify.sh`).
+//!
+//! ```sh
+//! cargo run --release -p orsp-bench --bin idle_fleet
+//! cargo run --release -p orsp-bench --bin idle_fleet -- --conns 8000 --rounds 3
+//! ```
+
+use orsp_bench::{arg_u64, f, header, seed_from_args};
+use orsp_core::{service_for_world, PipelineConfig};
+use orsp_crypto::{BlindingSession, RsaPublicKey};
+use orsp_net::{
+    ClientConfig, NetClient, NetError, NetServer, ServerConfig, ServerStats, TransportMode,
+};
+use orsp_search::SearchQuery;
+use orsp_types::rng::rng_for_indexed;
+use orsp_types::{Category, DeviceId, Timestamp};
+use orsp_world::{World, WorldConfig};
+use rand::Rng;
+use std::net::SocketAddr;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+const WORKERS: usize = 4;
+const QUEUE_DEPTH: usize = 64;
+
+struct FleetResult {
+    connected: u64,
+    /// Connections that answered every round without an error.
+    held: u64,
+    busy: u64,
+    stalled: u64,
+    other_errors: u64,
+    p99_us: u64,
+    stats: ServerStats,
+    secs: f64,
+}
+
+struct ClosedResult {
+    requests: u64,
+    errors: u64,
+    secs: f64,
+}
+
+impl ClosedResult {
+    fn rps(&self) -> f64 {
+        if self.secs > 0.0 {
+            self.requests as f64 / self.secs
+        } else {
+            0.0
+        }
+    }
+}
+
+fn main() {
+    let seed = seed_from_args();
+    let conns = arg_u64("conns", 5_000) as usize;
+    let threads = arg_u64("threads", 8) as usize;
+    let rounds = arg_u64("rounds", 2);
+    let seconds = arg_u64("seconds", 3);
+    header(
+        "IDLE-FLEET",
+        "connection scaling: event-loop slab vs thread-per-connection",
+    );
+
+    let world = World::generate(WorldConfig {
+        users_per_zipcode: 10,
+        ..WorldConfig::tiny(seed)
+    })
+    .unwrap();
+    let config = PipelineConfig::default();
+
+    println!(
+        "\n-- idle fleet: {conns} connections, {threads} client threads, {rounds} sparse \
+         rounds, workers={WORKERS} --"
+    );
+    println!("\n[event loop]");
+    let event = run_fleet(
+        &world,
+        &config,
+        TransportMode::EventLoop,
+        conns,
+        threads,
+        rounds,
+    );
+    report_fleet(&event);
+    println!("\n[threaded]");
+    let threaded = run_fleet(
+        &world,
+        &config,
+        TransportMode::Threaded,
+        conns,
+        threads,
+        rounds,
+    );
+    report_fleet(&threaded);
+
+    // Alternating best-of-3: on a small shared box a single trial mostly
+    // measures scheduler luck (the blind-signature RPC is milliseconds of
+    // CPU, so one preemption moves a 2s number by double digits).
+    // Interference only ever subtracts, so the best trial per transport
+    // is the least-disturbed measurement of each.
+    println!("\n-- closed loop: {WORKERS} clients, 3 x {seconds}s per transport, best trial --");
+    let mut closed_event = ClosedResult {
+        requests: 0,
+        errors: 0,
+        secs: 1.0,
+    };
+    let mut closed_threaded = ClosedResult {
+        requests: 0,
+        errors: 0,
+        secs: 1.0,
+    };
+    for trial in 0..3u64 {
+        let e = run_closed(
+            &world,
+            &config,
+            TransportMode::EventLoop,
+            seconds,
+            seed + trial,
+        );
+        let t = run_closed(
+            &world,
+            &config,
+            TransportMode::Threaded,
+            seconds,
+            seed + trial,
+        );
+        println!(
+            "  trial {}: event {} req/s, threaded {} req/s",
+            trial + 1,
+            f(e.rps()),
+            f(t.rps())
+        );
+        if e.errors == 0 && e.rps() > closed_event.rps() {
+            closed_event = e;
+        }
+        if t.errors == 0 && t.rps() > closed_threaded.rps() {
+            closed_threaded = t;
+        }
+    }
+    println!(
+        "  event loop: {} req/s ({} errors)",
+        f(closed_event.rps()),
+        closed_event.errors
+    );
+    println!(
+        "  threaded:   {} req/s ({} errors)",
+        f(closed_threaded.rps()),
+        closed_threaded.errors
+    );
+
+    let event_holds = event.held as usize == conns
+        && event.busy == 0
+        && event.stats.shed == 0
+        && event.stats.slab_high_water >= conns as i64;
+    let threaded_fails = threaded.busy > 0 || threaded.stalled > 0;
+    let fleet_gate = event_holds && threaded_fails;
+    let tput_gate = closed_event.rps() >= 0.9 * closed_threaded.rps()
+        && closed_event.errors == 0
+        && closed_threaded.errors == 0;
+    println!(
+        "\nidle-fleet gate: event holds all {conns} with 0 sheds = {event_holds}, \
+         threaded sheds/stalls = {threaded_fails} -> {}",
+        if fleet_gate { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "throughput gate: event {} vs threaded {} req/s (>= 90%: {})",
+        f(closed_event.rps()),
+        f(closed_threaded.rps()),
+        if tput_gate { "PASS" } else { "FAIL" }
+    );
+
+    write_json(
+        seed,
+        conns,
+        threads,
+        rounds,
+        &event,
+        &threaded,
+        &closed_event,
+        &closed_threaded,
+        fleet_gate,
+        tput_gate,
+    );
+}
+
+fn report_fleet(r: &FleetResult) {
+    println!(
+        "  {} connected, {} held to the end, {} busy, {} stalled, {} other errors, \
+         ping p99 {}us, {}s",
+        r.connected,
+        r.held,
+        r.busy,
+        r.stalled,
+        r.other_errors,
+        r.p99_us,
+        f(r.secs)
+    );
+    println!(
+        "  server: {} accepted, {} shed, {} requests, high water {}, {} deadline-closed, \
+         {} wakeups",
+        r.stats.accepted,
+        r.stats.shed,
+        r.stats.requests,
+        r.stats.slab_high_water,
+        r.stats.deadline_closed,
+        r.stats.readiness_wakeups
+    );
+}
+
+/// Open the fleet, ping every connection once per sparse round with idle
+/// gaps in between, and count who survived.
+fn run_fleet(
+    world: &World,
+    config: &PipelineConfig,
+    transport: TransportMode,
+    conns: usize,
+    threads: usize,
+    rounds: u64,
+) -> FleetResult {
+    let server_config = ServerConfig {
+        workers: WORKERS,
+        queue_depth: QUEUE_DEPTH,
+        // Generous read deadline: the fleet is *idle*, not dead — the
+        // inter-round gaps must not trip the reactor's timer wheel.
+        read_timeout: Duration::from_secs(30),
+        write_timeout: Duration::from_secs(5),
+        transport,
+        // Enough slots for the whole fleet (the threaded transport has
+        // no slab and ignores this; its ceiling stays workers + queue).
+        max_connections: conns + QUEUE_DEPTH,
+        ..ServerConfig::default()
+    };
+    let service = Arc::new(service_for_world(world, config));
+    let server = NetServer::bind("127.0.0.1:0", service, server_config).expect("bind fleet");
+    let addr = server.local_addr();
+
+    let started = Instant::now();
+    let per_thread = conns.div_ceil(threads);
+    // Phase barriers: without them an early thread finishes its rounds
+    // and drops its slice while a late one is still connecting, so the
+    // fleet is never fully simultaneous and "held" measures scheduling
+    // luck instead of the server's ceiling.
+    let barrier = Arc::new(Barrier::new(threads));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let count = per_thread.min(conns - (t * per_thread).min(conns));
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || fleet_thread(addr, count, rounds, &barrier))
+        })
+        .collect();
+
+    let mut connected = 0u64;
+    let mut held = 0u64;
+    let mut busy = 0u64;
+    let mut stalled = 0u64;
+    let mut other_errors = 0u64;
+    let mut latencies: Vec<u64> = Vec::new();
+    for handle in handles {
+        let part = handle.join().expect("fleet thread panicked");
+        connected += part.connected;
+        held += part.held;
+        busy += part.busy;
+        stalled += part.stalled;
+        other_errors += part.other_errors;
+        latencies.extend(part.latencies);
+    }
+    let secs = started.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    let p99_us = if latencies.is_empty() {
+        0
+    } else {
+        latencies[((latencies.len() as f64 - 1.0) * 0.99).round() as usize]
+    };
+    let stats = server.shutdown();
+    FleetResult {
+        connected,
+        held,
+        busy,
+        stalled,
+        other_errors,
+        p99_us,
+        stats,
+        secs,
+    }
+}
+
+struct FleetPart {
+    connected: u64,
+    held: u64,
+    busy: u64,
+    stalled: u64,
+    other_errors: u64,
+    latencies: Vec<u64>,
+}
+
+/// One client thread's slice of the fleet: open every connection, then
+/// walk the fleet once per round with an idle gap between rounds.
+fn fleet_thread(addr: SocketAddr, count: usize, rounds: u64, barrier: &Barrier) -> FleetPart {
+    // No retries, and a short read deadline so a stalled connection
+    // (accepted but never served — the threaded queue's fate) costs one
+    // bounded wait, not a hang.
+    let client_config = ClientConfig {
+        max_retries: 0,
+        connect_timeout: Duration::from_secs(5),
+        read_timeout: Duration::from_millis(500),
+        ..ClientConfig::default()
+    };
+    let mut part = FleetPart {
+        connected: 0,
+        held: 0,
+        busy: 0,
+        stalled: 0,
+        other_errors: 0,
+        latencies: Vec::with_capacity(count * rounds as usize),
+    };
+    // `Some` = still alive; errors knock a connection out permanently.
+    let mut fleet: Vec<Option<NetClient>> = Vec::with_capacity(count);
+    for _ in 0..count {
+        match NetClient::connect(addr, client_config) {
+            Ok(client) => {
+                part.connected += 1;
+                fleet.push(Some(client));
+            }
+            Err(_) => {
+                part.other_errors += 1;
+                fleet.push(None);
+            }
+        }
+    }
+    // Every thread holds its whole slice before anyone sends a request:
+    // this is the instant the server provably holds all N at once.
+    barrier.wait();
+    for round in 0..=rounds {
+        if round > 0 {
+            // The idle gap that makes the fleet "mostly idle".
+            std::thread::sleep(Duration::from_millis(700));
+        }
+        for slot in fleet.iter_mut() {
+            let Some(client) = slot.as_mut() else {
+                continue;
+            };
+            let t0 = Instant::now();
+            match client.ping() {
+                Ok(()) => {
+                    if round > 0 {
+                        part.latencies.push(t0.elapsed().as_micros() as u64);
+                    }
+                }
+                Err(NetError::Busy) => {
+                    part.busy += 1;
+                    *slot = None;
+                }
+                Err(NetError::Timeout) => {
+                    part.stalled += 1;
+                    *slot = None;
+                }
+                Err(_) => {
+                    part.other_errors += 1;
+                    *slot = None;
+                }
+            }
+        }
+    }
+    part.held = fleet.iter().filter(|c| c.is_some()).count() as u64;
+    // Nobody hangs up until everyone is done: freed slots must not let a
+    // slower thread's fleet sneak under the server's ceiling.
+    barrier.wait();
+    part
+}
+
+/// A short saturated phase: every client fires its next request the
+/// moment the previous response lands, over the same realistic RPC mix
+/// `net_throughput` measures (search, aggregate fetch, ping, blind-token
+/// issue) — the reference number the 10% gate is defined against.
+fn run_closed(
+    world: &World,
+    config: &PipelineConfig,
+    transport: TransportMode,
+    seconds: u64,
+    seed: u64,
+) -> ClosedResult {
+    let server_config = ServerConfig {
+        workers: WORKERS,
+        queue_depth: QUEUE_DEPTH,
+        read_timeout: Duration::from_secs(5),
+        write_timeout: Duration::from_secs(5),
+        transport,
+        ..ServerConfig::default()
+    };
+    let service = Arc::new(service_for_world(world, config));
+    let public = service.mint_public_key();
+    let server = NetServer::bind("127.0.0.1:0", service, server_config).expect("bind closed");
+    let addr = server.local_addr();
+    let deadline = Duration::from_secs(seconds);
+    let zipcodes: Vec<u32> = world.zipcodes.iter().map(|z| z.code).collect();
+    let entities: Vec<_> = world.entities.iter().map(|e| e.id).collect();
+    let categories = Category::all_physical();
+    let started = Instant::now();
+    let handles: Vec<_> = (0..WORKERS)
+        .map(|thread| {
+            let zipcodes = zipcodes.clone();
+            let entities = entities.clone();
+            let categories = categories.clone();
+            let public = public.clone();
+            std::thread::spawn(move || {
+                closed_worker(
+                    addr,
+                    thread,
+                    seed,
+                    deadline,
+                    &zipcodes,
+                    &entities,
+                    &categories,
+                    &public,
+                )
+            })
+        })
+        .collect();
+    let mut requests = 0u64;
+    let mut errors = 0u64;
+    for handle in handles {
+        let (r, e) = handle.join().expect("closed-loop thread panicked");
+        requests += r;
+        errors += e;
+    }
+    let secs = started.elapsed().as_secs_f64();
+    server.shutdown();
+    ClosedResult {
+        requests,
+        errors,
+        secs,
+    }
+}
+
+/// One closed-loop client: `net_throughput`'s RPC mix, unchanged.
+#[allow(clippy::too_many_arguments)]
+fn closed_worker(
+    addr: SocketAddr,
+    thread: usize,
+    seed: u64,
+    deadline: Duration,
+    zipcodes: &[u32],
+    entities: &[orsp_types::EntityId],
+    categories: &[Category],
+    public: &RsaPublicKey,
+) -> (u64, u64) {
+    let mut rng = rng_for_indexed(seed, "idle-fleet-closed", thread as u64);
+    let mut client = NetClient::connect(addr, ClientConfig::default()).expect("closed-loop client");
+    client.ping().expect("warmup ping");
+    let begin = Instant::now();
+    let mut requests = 0u64;
+    let mut errors = 0u64;
+    let mut i = 0u64;
+    while begin.elapsed() < deadline {
+        let ok = match i % 16 {
+            0 | 8 => client.ping().is_ok(),
+            1 | 2 | 9 | 10 => {
+                let entity = entities[rng.gen_range(0..entities.len())];
+                client.fetch_aggregate(entity).is_ok()
+            }
+            7 => {
+                let device = DeviceId::new(1 + thread as u64 * 1_000_000_000 + i);
+                let mut message = [0u8; 32];
+                rng.fill(&mut message);
+                let (session, blinded) = BlindingSession::blind(&mut rng, public, &message);
+                match client.issue_token(device, &blinded, Timestamp::EPOCH) {
+                    Ok(Ok(signature)) => session.unblind(&signature).is_ok(),
+                    _ => false,
+                }
+            }
+            _ => {
+                let query = SearchQuery {
+                    zipcode: zipcodes[rng.gen_range(0..zipcodes.len())],
+                    category: categories[rng.gen_range(0..categories.len())],
+                };
+                client.search(query).is_ok()
+            }
+        };
+        if ok {
+            requests += 1;
+        } else {
+            errors += 1;
+        }
+        i += 1;
+    }
+    (requests, errors)
+}
+
+/// Hand-rolled JSON (the workspace has no serde_json): flat and stable.
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    seed: u64,
+    conns: usize,
+    threads: usize,
+    rounds: u64,
+    event: &FleetResult,
+    threaded: &FleetResult,
+    closed_event: &ClosedResult,
+    closed_threaded: &ClosedResult,
+    fleet_gate: bool,
+    tput_gate: bool,
+) {
+    let fleet = |r: &FleetResult| {
+        format!(
+            "{{\"connected\": {}, \"held\": {}, \"busy\": {}, \"stalled\": {}, \
+             \"other_errors\": {}, \"p99_us\": {}, \"server_accepted\": {}, \
+             \"server_shed\": {}, \"slab_high_water\": {}, \"deadline_closed\": {}, \
+             \"secs\": {:.1}}}",
+            r.connected,
+            r.held,
+            r.busy,
+            r.stalled,
+            r.other_errors,
+            r.p99_us,
+            r.stats.accepted,
+            r.stats.shed,
+            r.stats.slab_high_water,
+            r.stats.deadline_closed,
+            r.secs
+        )
+    };
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"idle_fleet\",\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"conns\": {conns},\n"));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"rounds\": {rounds},\n"));
+    out.push_str(&format!("  \"workers\": {WORKERS},\n"));
+    out.push_str(&format!("  \"event_fleet\": {},\n", fleet(event)));
+    out.push_str(&format!("  \"threaded_fleet\": {},\n", fleet(threaded)));
+    out.push_str(&format!(
+        "  \"closed_loop_event_rps\": {:.1},\n",
+        closed_event.rps()
+    ));
+    out.push_str(&format!(
+        "  \"closed_loop_threaded_rps\": {:.1},\n",
+        closed_threaded.rps()
+    ));
+    out.push_str(&format!("  \"idle_fleet_gate_ok\": {fleet_gate},\n"));
+    out.push_str(&format!("  \"throughput_within_10pct\": {tput_gate}\n"));
+    out.push_str("}\n");
+
+    let path = "results/BENCH_idle_fleet.json";
+    match std::fs::write(path, &out) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => println!("could not write {path}: {e}"),
+    }
+}

@@ -71,6 +71,7 @@ fn main() {
         queue_depth: 64,
         read_timeout: Duration::from_secs(5),
         write_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
     };
     let (server, service) = serve(&world, &config, "127.0.0.1:0", server_config).expect("bind");
     let public = service.mint_public_key();
@@ -263,6 +264,7 @@ fn run_saturation(world: &World, config: &PipelineConfig) -> (u64, u64) {
         queue_depth: 2,
         read_timeout: Duration::from_secs(5),
         write_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
     };
     let service = Arc::new(service_for_world(world, config));
     let server =

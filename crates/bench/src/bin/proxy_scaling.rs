@@ -147,6 +147,7 @@ fn run_topology(
         queue_depth: 64,
         read_timeout: Duration::from_secs(5),
         write_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
     };
     let backends: Vec<(NetServer, Arc<RspService>)> = (0..backends_n)
         .map(|_| serve(world, config, "127.0.0.1:0", server_config).expect("bind backend"))

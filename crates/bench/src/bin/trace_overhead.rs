@@ -60,6 +60,7 @@ fn main() {
         queue_depth: 64,
         read_timeout: Duration::from_secs(5),
         write_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
     };
     let (server, service) = serve(&world, &config, "127.0.0.1:0", server_config).expect("bind");
     let addr = server.local_addr();

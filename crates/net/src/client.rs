@@ -48,6 +48,13 @@ pub struct ClientConfig {
     pub backoff_base: Duration,
     /// Backoff ceiling.
     pub backoff_cap: Duration,
+    /// Budget for one whole call, retries included. Each reconnect's
+    /// `TcpStream::connect_timeout` is clamped to what remains, and a
+    /// retry whose backoff would overrun the budget fails now instead —
+    /// so a black-holed backend can never hold a call past the deadline,
+    /// no matter how generous `connect_timeout` and `max_retries` are.
+    /// `None` (the default) keeps the unbounded behavior.
+    pub call_deadline: Option<Duration>,
 }
 
 impl Default for ClientConfig {
@@ -59,6 +66,7 @@ impl Default for ClientConfig {
             max_retries: 5,
             backoff_base: Duration::from_millis(5),
             backoff_cap: Duration::from_millis(320),
+            call_deadline: None,
         }
     }
 }
@@ -170,8 +178,15 @@ impl NetClient {
     }
 
     fn ensure_stream(&mut self) -> Result<&mut TcpStream, NetError> {
+        self.ensure_stream_within(self.config.connect_timeout)
+    }
+
+    fn ensure_stream_within(
+        &mut self,
+        connect_timeout: Duration,
+    ) -> Result<&mut TcpStream, NetError> {
         if self.stream.is_none() {
-            let stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)
+            let stream = TcpStream::connect_timeout(&self.addr, connect_timeout)
                 .map_err(NetError::from_io)?;
             let _ = stream.set_nodelay(true);
             stream
@@ -191,8 +206,12 @@ impl NetClient {
     /// drop or a failed write ([`NetError::Closed`]) so the caller can
     /// treat a closed-while-idle keep-alive stream differently from a
     /// peer that died with the request possibly in hand.
-    fn call_once(&mut self, frame: &[u8]) -> Result<Option<Response>, NetError> {
-        let stream = self.ensure_stream()?;
+    fn call_once(
+        &mut self,
+        frame: &[u8],
+        connect_timeout: Duration,
+    ) -> Result<Option<Response>, NetError> {
+        let stream = self.ensure_stream_within(connect_timeout)?;
         write_message(stream, frame)?;
         match read_message(stream)? {
             Some((payload, _ctx)) => {
@@ -229,12 +248,28 @@ impl NetClient {
         let frame = request.encode_traced(ctx.as_ref());
         let mut trace = CallTrace::default();
         let mut attempt: u32 = 0;
+        let deadline = self.config.call_deadline.map(|d| std::time::Instant::now() + d);
         loop {
+            // The call deadline clamps every dial: a black-holed peer
+            // (SYNs silently dropped) blocks `connect()` only for what
+            // remains of this call's budget, not the full
+            // `connect_timeout` per retry.
+            let connect_timeout = match deadline {
+                Some(d) => {
+                    let remaining = d.saturating_duration_since(std::time::Instant::now());
+                    if remaining.is_zero() {
+                        self.retry_stats.exhausted += 1;
+                        return Err(NetError::Timeout);
+                    }
+                    self.config.connect_timeout.min(remaining)
+                }
+                None => self.config.connect_timeout,
+            };
             let reused = self.reused && self.stream.is_some();
             self.retry_stats.attempts += 1;
             trace.attempts += 1;
             let mut before_any_byte = false;
-            let failure = match self.call_once(&frame) {
+            let failure = match self.call_once(&frame, connect_timeout) {
                 Ok(Some(Response::Busy)) => NetError::Busy,
                 // A typed unavailability report is a fail-fast: the range
                 // is dead or demoted, retrying into it with backoff would
@@ -284,6 +319,16 @@ impl NetClient {
                 .backoff_base
                 .saturating_mul(1u32 << attempt.min(16))
                 .min(self.config.backoff_cap);
+            if let Some(d) = deadline {
+                // Sleeping through the deadline helps no one: if the
+                // backoff would overrun the budget, report the failure
+                // now.
+                let remaining = d.saturating_duration_since(std::time::Instant::now());
+                if backoff >= remaining {
+                    self.retry_stats.exhausted += 1;
+                    return Err(failure);
+                }
+            }
             self.retry_stats.backoff_us += backoff.as_micros() as u64;
             std::thread::sleep(backoff);
             attempt += 1;
@@ -609,6 +654,46 @@ mod tests {
         let _ = TcpStream::connect(addr);
         let _ = TcpStream::connect(addr);
         let _ = TcpStream::connect(addr);
+        server.join().expect("server");
+    }
+
+    #[test]
+    fn call_deadline_bounds_the_whole_retry_loop() {
+        // A server that sheds every request with `Busy` would normally
+        // hold this client for the full retry schedule (50 retries at
+        // 20–40ms backoff ≈ seconds). The call deadline cuts the loop
+        // the moment the next backoff would overrun the budget.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || loop {
+            let Ok((mut s, _)) = listener.accept() else { return };
+            match read_message(&mut s) {
+                Ok(Some(_)) => {
+                    let _ = write_message(&mut s, &Response::Busy.encode());
+                }
+                _ => return, // the throwaway stop connection
+            }
+        });
+
+        let config = ClientConfig {
+            max_retries: 50,
+            backoff_base: Duration::from_millis(20),
+            backoff_cap: Duration::from_millis(40),
+            call_deadline: Some(Duration::from_millis(150)),
+            ..ClientConfig::default()
+        };
+        let mut client = NetClient::connect(addr, config).expect("connect");
+        let started = std::time::Instant::now();
+        let err = client.call(&Request::Ping).expect_err("deadline must cut the loop");
+        let elapsed = started.elapsed();
+        assert_eq!(err, NetError::Busy, "the last real failure is reported");
+        assert!(elapsed < Duration::from_secs(1), "deadline ignored: took {elapsed:?}");
+
+        let stats = client.retry_stats();
+        assert_eq!(stats.exhausted, 1);
+        assert!(stats.attempts < 51, "far fewer attempts than the retry budget allows");
+        drop(client);
+        let _ = TcpStream::connect(addr); // unblock the accept loop
         server.join().expect("server");
     }
 

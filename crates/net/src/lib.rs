@@ -19,23 +19,32 @@
 //!
 //! Every service carries an `orsp-obs` registry: the router records
 //! per-RPC latency and outcome counters, the server its accept/shed and
-//! per-kind protocol-error counters. The whole registry is scrapeable
-//! in-process (`RspService::obs`) or over the wire via the `Stats` RPC.
+//! per-kind protocol-error counters, the reactor its open-connection and
+//! slab-occupancy gauges. The whole registry is scrapeable in-process
+//! (`RspService::obs`) or over the wire via the `Stats` RPC.
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide; the single exception is [`sys`], the
+// epoll/eventfd FFI module, which opts back in locally.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod assembler;
 pub mod client;
 pub mod error;
+#[cfg(target_os = "linux")]
+pub(crate) mod reactor;
 pub mod router;
 pub mod server;
 pub mod stream;
+#[cfg(target_os = "linux")]
+pub mod sys;
 pub mod transport;
 pub mod wire;
 
+pub use assembler::{AssembledFrame, FrameAssembler};
 pub use client::{CallTrace, ClientConfig, NetClient, NetPool, RetryStats, TcpTransport};
 pub use error::{NetError, WireError};
 pub use router::{ReplicaHook, ReplicateOutcome, RspService, ServiceConfig};
-pub use server::{FrameService, NetServer, ServerConfig, ServerStats};
+pub use server::{FrameService, NetServer, ServerConfig, ServerStats, TransportMode};
 pub use transport::{InMemoryTransport, RemoteIssuer, Transport};
 pub use wire::{CatchRecord, Request, Response, SearchHit};

@@ -1,21 +1,31 @@
-//! Synchronous thread-pool TCP server over `std::net`.
+//! The TCP server front: one [`NetServer`] facade over two transports.
 //!
-//! No async runtime (DESIGN §5): one acceptor thread feeds a *bounded*
-//! queue drained by a fixed worker pool. The bound is the backpressure
-//! contract — when the queue is full the acceptor writes an explicit
-//! [`Response::Busy`] frame and closes, so overload is always visible to
-//! the client and never a silent drop. Every connection runs with read
-//! and write deadlines; a stalled peer costs one worker at most one
-//! timeout. Shutdown drains: queued connections are still served (one
-//! request each once the flag is up), in-flight responses complete, then
-//! workers exit.
+//! * **Event loop** (default, Linux): a readiness-driven reactor
+//!   ([`crate::reactor`]) holds every connection in a slab of
+//!   non-blocking sockets and hands only ready, fully-framed requests to
+//!   a fixed worker pool — an idle connection costs a slab slot, not a
+//!   thread, so a mostly-idle device fleet scales to the
+//!   [`ServerConfig::max_connections`] bound instead of the worker count.
+//! * **Threaded** ([`TransportMode::Threaded`], and the fallback on
+//!   non-Linux): the original synchronous pool — one acceptor thread
+//!   feeds a *bounded* queue drained by workers that each own one
+//!   connection at a time.
+//!
+//! Both transports keep the same contracts (no async runtime either way,
+//! per DESIGN §6): overload is an explicit [`Response::Busy`] frame and a
+//! close, never a silent drop; every connection runs under read/write
+//! deadlines (socket timeouts on the threaded path, reactor timer wheels
+//! on the event path); shutdown drains — queued and in-flight requests
+//! get their responses before the threads join. The integration suite
+//! runs against both (`ORSP_NET_TRANSPORT=threaded` flips the default)
+//! and `scripts/verify.sh` gates on that dual run.
 
 use crate::error::{NetError, WireError};
 use crate::router::RspService;
 use crate::stream::{read_message, write_message};
 use crate::wire::{Request, Response};
 use crossbeam::channel::{Receiver, Sender, TrySendError};
-use orsp_obs::{Counter, Registry, TraceContext};
+use orsp_obs::{Counter, Gauge, Registry, TraceContext};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -23,18 +33,56 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// Which serving core a [`NetServer`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportMode {
+    /// Readiness-driven reactor + worker pool (default). Falls back to
+    /// [`TransportMode::Threaded`] on non-Linux targets, where the epoll
+    /// binding does not exist.
+    EventLoop,
+    /// The original thread-per-connection pool behind a bounded accept
+    /// queue.
+    Threaded,
+}
+
+impl Default for TransportMode {
+    /// [`TransportMode::EventLoop`], unless `ORSP_NET_TRANSPORT=threaded`
+    /// is set — the hook `verify.sh` uses to run the whole integration
+    /// suite against both transports without touching test code.
+    fn default() -> Self {
+        match std::env::var("ORSP_NET_TRANSPORT").as_deref() {
+            Ok("threaded") => TransportMode::Threaded,
+            _ => TransportMode::EventLoop,
+        }
+    }
+}
+
 /// Server tunables.
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
-    /// Worker threads serving connections.
+    /// Worker threads executing requests.
     pub workers: usize,
-    /// Bound on the accept→worker queue. Connections beyond
-    /// `workers + queue_depth` are shed with `Busy`.
+    /// Threaded transport: bound on the accept→worker queue (connections
+    /// beyond `workers + queue_depth` are shed with `Busy`). The event
+    /// loop reuses it for the default connection-slot count — see
+    /// [`ServerConfig::max_connections`].
     pub queue_depth: usize,
     /// Per-connection read deadline.
     pub read_timeout: Duration,
     /// Per-connection write deadline.
     pub write_timeout: Duration,
+    /// Which serving core to run.
+    pub transport: TransportMode,
+    /// Event loop: connection slots in the reactor slab. `0` means
+    /// `workers + queue_depth` — the same point the threaded transport
+    /// sheds at, so both transports refuse the same connection under the
+    /// same load. Raise it (e.g. `--max-connections 10000` on the
+    /// daemons) to hold a large mostly-idle fleet.
+    pub max_connections: usize,
+    /// Event loop: bound on requests queued or executing across all
+    /// connections; past it a decoded request is answered `Busy`. `0`
+    /// means unbounded (the slab bound still applies).
+    pub max_inflight: usize,
 }
 
 impl Default for ServerConfig {
@@ -44,6 +92,22 @@ impl Default for ServerConfig {
             queue_depth: 64,
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
+            transport: TransportMode::default(),
+            max_connections: 0,
+            max_inflight: 0,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The reactor slab size: [`ServerConfig::max_connections`], with `0`
+    /// defaulting to `workers + queue_depth` (shed parity with the
+    /// threaded transport).
+    pub fn effective_max_connections(&self) -> usize {
+        if self.max_connections == 0 {
+            (self.workers + self.queue_depth).max(1)
+        } else {
+            self.max_connections
         }
     }
 }
@@ -53,9 +117,9 @@ impl Default for ServerConfig {
 /// `net_*` series via the Prometheus/JSON exporters or the `Stats` RPC.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerStats {
-    /// Connections handed to a worker.
+    /// Connections accepted into a worker (threaded) or slab slot (event).
     pub accepted: u64,
-    /// Connections shed with an explicit `Busy` frame.
+    /// Connections/requests shed with an explicit `Busy` frame.
     pub shed: u64,
     /// Requests decoded and dispatched.
     pub requests: u64,
@@ -74,23 +138,37 @@ pub struct ServerStats {
     pub proto_unknown_tag: u64,
     /// Everything else: bad magic, bad version, malformed payload bodies.
     pub proto_other: u64,
+    /// Connections currently held open (event loop; 0 on threaded).
+    pub open_connections: i64,
+    /// Most connections ever held at once (event loop; 0 on threaded).
+    pub slab_high_water: i64,
+    /// Times the reactor woke with at least one ready fd (event loop).
+    pub readiness_wakeups: u64,
+    /// Connections closed by an expired read/write deadline (event loop;
+    /// the threaded transport's socket timeouts close silently).
+    pub deadline_closed: u64,
 }
 
-/// Pre-resolved registry handles for the connection hot path.
-struct ServerMetrics {
-    accepted: Counter,
-    shed: Counter,
-    requests: Counter,
-    protocol_errors: Counter,
-    proto_truncated: Counter,
-    proto_bad_crc: Counter,
-    proto_oversized: Counter,
-    proto_unknown_tag: Counter,
-    proto_other: Counter,
+/// Pre-resolved registry handles for the connection hot path. Shared by
+/// both transports so the `net_*` series mean the same thing either way.
+pub(crate) struct ServerMetrics {
+    pub(crate) accepted: Counter,
+    pub(crate) shed: Counter,
+    pub(crate) requests: Counter,
+    pub(crate) protocol_errors: Counter,
+    pub(crate) proto_truncated: Counter,
+    pub(crate) proto_bad_crc: Counter,
+    pub(crate) proto_oversized: Counter,
+    pub(crate) proto_unknown_tag: Counter,
+    pub(crate) proto_other: Counter,
+    pub(crate) open_connections: Gauge,
+    pub(crate) slab_high_water: Gauge,
+    pub(crate) readiness_wakeups: Counter,
+    pub(crate) deadline_closed: Counter,
 }
 
 impl ServerMetrics {
-    fn resolve(obs: &Registry) -> Self {
+    pub(crate) fn resolve(obs: &Registry) -> Self {
         ServerMetrics {
             accepted: obs.counter("net_accepted_total"),
             shed: obs.counter("net_shed_total"),
@@ -101,11 +179,15 @@ impl ServerMetrics {
             proto_oversized: obs.counter("net_proto_oversized_total"),
             proto_unknown_tag: obs.counter("net_proto_unknown_tag_total"),
             proto_other: obs.counter("net_proto_other_total"),
+            open_connections: obs.gauge("net_open_connections"),
+            slab_high_water: obs.gauge("net_slab_high_water"),
+            readiness_wakeups: obs.counter("net_readiness_wakeups_total"),
+            deadline_closed: obs.counter("net_deadline_closed_total"),
         }
     }
 
     /// Count one protocol error: the total, plus its kind.
-    fn protocol_error(&self, kind: ProtoErrorKind) {
+    pub(crate) fn protocol_error(&self, kind: ProtoErrorKind) {
         self.protocol_errors.inc();
         match kind {
             ProtoErrorKind::Truncated => self.proto_truncated.inc(),
@@ -123,6 +205,10 @@ impl ServerMetrics {
 /// whole process. Implemented by [`RspService`] (a backend daemon) and by
 /// `orsp-proxy`'s front-door router — both ends of the cluster speak the
 /// same frames through the same server loop.
+///
+/// The trace context always travels as the explicit `ctx` argument —
+/// never as ambient per-thread state — which is what lets the event
+/// loop's worker pool execute any connection's request on any thread.
 pub trait FrameService: Send + Sync {
     /// Handle one decoded request.
     fn handle(&self, request: Request) -> Response {
@@ -147,7 +233,7 @@ impl FrameService for RspService {
 }
 
 #[derive(Debug, Clone, Copy)]
-enum ProtoErrorKind {
+pub(crate) enum ProtoErrorKind {
     Truncated,
     BadCrc,
     Oversized,
@@ -169,21 +255,19 @@ impl From<&WireError> for ProtoErrorKind {
     }
 }
 
-struct Shared {
-    service: Arc<dyn FrameService>,
-    config: ServerConfig,
-    shutdown: AtomicBool,
-    obs: Arc<Registry>,
-    metrics: ServerMetrics,
-}
-
-/// A running server: an acceptor, a worker pool, and the bounded queue
-/// between them. Dropping it shuts down gracefully.
+/// A running server: the transport selected by
+/// [`ServerConfig::transport`], behind one facade. Dropping it shuts down
+/// gracefully.
 pub struct NetServer {
     addr: SocketAddr,
-    shared: Arc<Shared>,
-    acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    metrics: ServerMetrics,
+    inner: Inner,
+}
+
+enum Inner {
+    Threaded(ThreadedServer),
+    #[cfg(target_os = "linux")]
+    Event(crate::reactor::EventServer),
 }
 
 impl NetServer {
@@ -196,6 +280,97 @@ impl NetServer {
     ) -> io::Result<NetServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        let metrics = ServerMetrics::resolve(service.obs());
+        let inner = match config.transport {
+            #[cfg(target_os = "linux")]
+            TransportMode::EventLoop => Inner::Event(crate::reactor::EventServer::bind(
+                listener, service, config,
+            )?),
+            #[cfg(not(target_os = "linux"))]
+            TransportMode::EventLoop => {
+                Inner::Threaded(ThreadedServer::start(listener, local, service, config))
+            }
+            TransportMode::Threaded => {
+                Inner::Threaded(ThreadedServer::start(listener, local, service, config))
+            }
+        };
+        Ok(NetServer { addr: local, metrics, inner })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A point-in-time counter snapshot (a typed view over the service
+    /// registry's `net_*` series).
+    pub fn stats(&self) -> ServerStats {
+        let m = &self.metrics;
+        ServerStats {
+            accepted: m.accepted.get(),
+            shed: m.shed.get(),
+            requests: m.requests.get(),
+            protocol_errors: m.protocol_errors.get(),
+            proto_truncated: m.proto_truncated.get(),
+            proto_bad_crc: m.proto_bad_crc.get(),
+            proto_oversized: m.proto_oversized.get(),
+            proto_unknown_tag: m.proto_unknown_tag.get(),
+            proto_other: m.proto_other.get(),
+            open_connections: m.open_connections.get(),
+            slab_high_water: m.slab_high_water.get(),
+            readiness_wakeups: m.readiness_wakeups.get(),
+            deadline_closed: m.deadline_closed.get(),
+        }
+    }
+
+    /// Graceful drain: stop accepting, serve what is queued and in
+    /// flight, join every thread, and return the final counters.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.stop();
+        self.stats()
+    }
+
+    fn stop(&mut self) {
+        match &mut self.inner {
+            Inner::Threaded(t) => t.stop(),
+            #[cfg(target_os = "linux")]
+            Inner::Event(e) => e.stop(),
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+// -------------------------------------------------- threaded transport
+
+struct Shared {
+    service: Arc<dyn FrameService>,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    obs: Arc<Registry>,
+    metrics: ServerMetrics,
+}
+
+/// The original transport: an acceptor, a worker pool, and the bounded
+/// queue between them.
+struct ThreadedServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadedServer {
+    fn start(
+        listener: TcpListener,
+        addr: SocketAddr,
+        service: Arc<dyn FrameService>,
+        config: ServerConfig,
+    ) -> ThreadedServer {
         let obs = Arc::clone(service.obs());
         let metrics = ServerMetrics::resolve(&obs);
         let shared = Arc::new(Shared {
@@ -225,36 +400,7 @@ impl NetServer {
             std::thread::spawn(move || accept_loop(&shared, &listener, tx))
         };
 
-        Ok(NetServer { addr: local, shared, acceptor: Some(acceptor), workers: worker_handles })
-    }
-
-    /// The bound address.
-    pub fn local_addr(&self) -> SocketAddr {
-        self.addr
-    }
-
-    /// A point-in-time counter snapshot (a typed view over the service
-    /// registry's `net_*` series).
-    pub fn stats(&self) -> ServerStats {
-        let m = &self.shared.metrics;
-        ServerStats {
-            accepted: m.accepted.get(),
-            shed: m.shed.get(),
-            requests: m.requests.get(),
-            protocol_errors: m.protocol_errors.get(),
-            proto_truncated: m.proto_truncated.get(),
-            proto_bad_crc: m.proto_bad_crc.get(),
-            proto_oversized: m.proto_oversized.get(),
-            proto_unknown_tag: m.proto_unknown_tag.get(),
-            proto_other: m.proto_other.get(),
-        }
-    }
-
-    /// Graceful drain: stop accepting, serve what is queued and in
-    /// flight, join every thread, and return the final counters.
-    pub fn shutdown(mut self) -> ServerStats {
-        self.stop();
-        self.stats()
+        ThreadedServer { addr, shared, acceptor: Some(acceptor), workers: worker_handles }
     }
 
     fn stop(&mut self) {
@@ -275,7 +421,7 @@ impl NetServer {
     }
 }
 
-impl Drop for NetServer {
+impl Drop for ThreadedServer {
     fn drop(&mut self) {
         self.stop();
     }

@@ -1,18 +1,16 @@
 //! Frame I/O over blocking byte streams (`std::io::Read`/`Write`).
 //!
-//! Shared by the TCP server and client so both sides enforce the same
-//! header validation, CRC check, and payload cap. The header is read in
-//! stages — magic+version first, then the version's fixed remainder,
-//! then the optional trace-context block — so a v1 peer and a v2 peer
-//! land in the same payload path. Deadlines are the socket's read/write
-//! timeouts — a peer that stalls mid-frame surfaces as
-//! [`NetError::Timeout`], never as a hang.
+//! Shared by the TCP client and the threaded server transport so both
+//! sides enforce the same header validation, CRC check, and payload cap.
+//! The actual staging lives in [`crate::assembler::FrameAssembler`] —
+//! the same state machine the reactor drives with non-blocking reads —
+//! here driven with exact-size blocking reads ([`FrameAssembler::need`]
+//! bytes at a time), so this reader never consumes past the end of a
+//! frame. Deadlines are the socket's read/write timeouts — a peer that
+//! stalls mid-frame surfaces as [`NetError::Timeout`], never as a hang.
 
+use crate::assembler::FrameAssembler;
 use crate::error::NetError;
-use crate::wire::{
-    check_crc, parse_prefix, parse_trace_ctx, parse_v1_rest, parse_v2_rest, HEADER_LEN,
-    HEADER_LEN_V2, PREFIX_LEN, TRACE_CTX_LEN, V1,
-};
 use orsp_obs::TraceContext;
 use std::io::{Read, Write};
 
@@ -29,7 +27,6 @@ pub fn write_message<W: Write>(w: &mut W, frame: &[u8]) -> Result<(), NetError> 
 pub fn read_message<R: Read>(
     r: &mut R,
 ) -> Result<Option<(Vec<u8>, Option<TraceContext>)>, NetError> {
-    let mut prefix = [0u8; PREFIX_LEN];
     // First byte separately: a close before any header byte is a normal
     // end of conversation, not an error. That covers both the clean FIN
     // and the reset a keep-alive race produces (peer closes while our
@@ -46,30 +43,24 @@ pub fn read_message<R: Read>(
             Err(e) => return Err(NetError::from_io(e)),
         }
     }
-    prefix[0] = first[0];
-    r.read_exact(&mut prefix[1..]).map_err(NetError::from_io)?;
-    let version = parse_prefix(&prefix)?;
-    let (traced, len, crc) = if version == V1 {
-        let mut rest = [0u8; HEADER_LEN - PREFIX_LEN];
-        r.read_exact(&mut rest).map_err(NetError::from_io)?;
-        let (len, crc) = parse_v1_rest(&rest)?;
-        (false, len, crc)
-    } else {
-        let mut rest = [0u8; HEADER_LEN_V2 - PREFIX_LEN];
-        r.read_exact(&mut rest).map_err(NetError::from_io)?;
-        parse_v2_rest(&rest)?
-    };
-    let ctx = if traced {
-        let mut block = [0u8; TRACE_CTX_LEN];
-        r.read_exact(&mut block).map_err(NetError::from_io)?;
-        Some(parse_trace_ctx(&block)?)
-    } else {
-        None
-    };
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload).map_err(NetError::from_io)?;
-    check_crc(&payload, crc)?;
-    Ok(Some((payload, ctx)))
+    let mut asm = FrameAssembler::new();
+    let mut done = asm.feed(&first)?.1;
+    // Drive the shared state machine with exact-size reads: at most
+    // `need()` bytes per read, so nothing past this frame's boundary is
+    // ever consumed from the stream.
+    let mut chunk = [0u8; 4096];
+    while done.is_none() {
+        let take = asm.need().min(chunk.len());
+        if take == 0 {
+            // A zero-length payload: the frame completes on no input.
+            done = asm.feed(&[])?.1;
+            continue;
+        }
+        r.read_exact(&mut chunk[..take]).map_err(NetError::from_io)?;
+        done = asm.feed(&chunk[..take])?.1;
+    }
+    let frame = done.expect("loop exits with a frame");
+    Ok(Some((frame.payload, frame.ctx)))
 }
 
 /// Errors a dead peer's teardown produces at the *first* byte of a
@@ -85,7 +76,7 @@ fn reset_kind(e: &std::io::Error) -> bool {
 mod tests {
     use super::*;
     use crate::error::WireError;
-    use crate::wire::{frame, frame_traced, frame_v1};
+    use crate::wire::{frame, frame_traced, frame_v1, HEADER_LEN_V2, TRACE_CTX_LEN};
 
     #[test]
     fn round_trip_over_cursor() {

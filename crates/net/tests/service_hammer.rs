@@ -521,6 +521,7 @@ fn tcp_hammer_sheds_nothing_below_saturation() {
         queue_depth: UPLOADERS + 2,
         read_timeout: Duration::from_secs(5),
         write_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
     };
     let server =
         NetServer::bind("127.0.0.1:0", service.clone(), config).expect("bind");
@@ -532,6 +533,7 @@ fn tcp_hammer_sheds_nothing_below_saturation() {
         max_retries: 0, // a single shed would surface as a hard Busy error
         backoff_base: Duration::from_millis(1),
         backoff_cap: Duration::from_millis(8),
+        ..ClientConfig::default()
     };
 
     std::thread::scope(|s| {

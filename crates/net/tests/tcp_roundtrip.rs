@@ -64,6 +64,7 @@ fn fast_client() -> ClientConfig {
         max_retries: 0,
         backoff_base: Duration::from_millis(1),
         backoff_cap: Duration::from_millis(8),
+        ..ClientConfig::default()
     }
 }
 
@@ -132,6 +133,7 @@ fn saturated_server_sheds_with_busy_not_silence() {
         // well inside the patient client's retry budget.
         read_timeout: Duration::from_millis(700),
         write_timeout: Duration::from_millis(700),
+        ..ServerConfig::default()
     };
     let server = NetServer::bind("127.0.0.1:0", service, config).expect("bind");
     let addr = server.local_addr();
@@ -252,6 +254,7 @@ fn shutdown_drains_and_joins() {
         queue_depth: 4,
         read_timeout: Duration::from_millis(500),
         write_timeout: Duration::from_millis(500),
+        ..ServerConfig::default()
     };
     let server = NetServer::bind("127.0.0.1:0", service, config).expect("bind");
     let addr = server.local_addr();

@@ -25,6 +25,7 @@ use orsp_proxy::{BackendLink, ProxyConfig, ProxyService};
 use std::io::Read;
 use std::net::SocketAddr;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -47,8 +48,8 @@ fn main() {
     if backends.is_empty() {
         eprintln!(
             "usage: orsp-proxy [--listen ADDR] --backend ADDR [--backend ADDR ...] \
-             [--pool N] [--cluster-internal] [--replication-factor N] \
-             [--trace-sample PER10K] [--trace-slow-us N]"
+             [--pool N] [--max-connections N] [--cluster-internal] \
+             [--replication-factor N] [--trace-sample PER10K] [--trace-slow-us N]"
         );
         std::process::exit(2);
     }
@@ -71,6 +72,19 @@ fn main() {
         .position(|a| a == "--pool")
         .map(|i| args.get(i + 1).expect("--pool takes a count").parse().expect("--pool count"))
         .unwrap_or(4);
+    // Connection slab size for the event-loop transport: the proxy is
+    // the tier that fronts the device fleet, so this is where a raised
+    // ceiling matters most. 0 keeps the threaded shed point.
+    let max_connections: usize = args
+        .iter()
+        .position(|a| a == "--max-connections")
+        .map(|i| {
+            args.get(i + 1)
+                .expect("--max-connections takes a count")
+                .parse()
+                .expect("--max-connections count")
+        })
+        .unwrap_or(0);
     // Head-based trace sampling, in traces per 10 000 roots (default 100
     // = 1%); requests slower than `--trace-slow-us` are sampled anyway.
     let trace_sample: Option<u32> = args.iter().position(|a| a == "--trace-sample").map(|i| {
@@ -86,10 +100,15 @@ fn main() {
             .expect("--trace-slow-us microseconds")
     });
 
+    // The fan-out inherits the call deadline: a black-holed backend
+    // costs a scatter-gather leg at most this budget (dial + retries),
+    // never connect_timeout × attempts.
+    let backend_client =
+        ClientConfig { call_deadline: Some(Duration::from_secs(10)), ..ClientConfig::default() };
     let links: Vec<Arc<dyn BackendLink>> = backends
         .iter()
         .map(|&addr| {
-            Arc::new(NetPool::new(addr, ClientConfig::default(), pool)) as Arc<dyn BackendLink>
+            Arc::new(NetPool::new(addr, backend_client, pool)) as Arc<dyn BackendLink>
         })
         .collect();
     for (i, addr) in backends.iter().enumerate() {
@@ -122,8 +141,12 @@ fn main() {
         service.obs().tracer().set_slow_threshold_us(slow);
         println!("proxy: always tracing requests slower than {slow}µs");
     }
-    let server = NetServer::bind(listen.as_str(), service.clone(), ServerConfig::default())
-        .expect("bind proxy");
+    let server = NetServer::bind(
+        listen.as_str(),
+        service.clone(),
+        ServerConfig { max_connections, ..ServerConfig::default() },
+    )
+    .expect("bind proxy");
     println!("proxy: listening on {} over {} backends", server.local_addr(), backends.len());
 
     // Serve until stdin closes, then drain.

@@ -60,6 +60,10 @@ fn peer_client() -> ClientConfig {
         max_retries: 2,
         backoff_base: Duration::from_millis(1),
         backoff_cap: Duration::from_millis(16),
+        // A black-holed peer (SYNs dropped, no RST) must not hold a
+        // replication call for connect_timeout × attempts: the whole
+        // call — dials, retries, backoff — fits this budget.
+        call_deadline: Some(Duration::from_secs(15)),
     }
 }
 
@@ -90,6 +94,9 @@ fn main() {
         "--group-commit-window-us",
         StorageOptions::default().group_commit_window_us,
     );
+    // Connection slab size for the event-loop transport; 0 keeps the
+    // threaded shed point (workers + queue depth).
+    let max_connections: usize = parsed(&args, "--max-connections", 0);
     let seed: u64 = parsed(&args, "--seed", 13);
     let users_per_zipcode: usize = parsed(&args, "--users-per-zipcode", 40);
     let horizon_days: i64 = parsed(&args, "--horizon-days", 120);
@@ -246,8 +253,12 @@ fn main() {
             .unwrap_or(0);
     service.obs().tracer().set_seed(trace_seed);
 
-    let server = NetServer::bind(listen.as_str(), service.clone(), ServerConfig::default())
-        .expect("bind replicad");
+    let server = NetServer::bind(
+        listen.as_str(),
+        service.clone(),
+        ServerConfig { max_connections, ..ServerConfig::default() },
+    )
+    .expect("bind replicad");
     println!("replicad: listening on {}", server.local_addr());
     println!(
         "replicad: serving ({} mode, rf {}, ranges {:?})",

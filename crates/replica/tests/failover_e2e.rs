@@ -66,6 +66,7 @@ fn fast_client() -> ClientConfig {
         max_retries: 2,
         backoff_base: Duration::from_millis(1),
         backoff_cap: Duration::from_millis(8),
+        ..ClientConfig::default()
     }
 }
 

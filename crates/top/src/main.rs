@@ -131,6 +131,30 @@ fn render(
         ));
     }
 
+    // Connection health: the scraped process's own server core. The
+    // gauges only move on the event-loop transport (the reactor owns the
+    // slab); the counters are shared by both transports.
+    let open = stats.gauge("net_open_connections").unwrap_or(0);
+    let high = stats.gauge("net_slab_high_water").unwrap_or(0);
+    if stats.counter("net_accepted_total").is_some() {
+        out.push_str("\nCONNECTIONS\n");
+        out.push_str(&format!(
+            "  {:<8} {:>10} {:>9} {:>9} {:>8} {:>9} {:>10} {:>9}\n",
+            "open", "high-water", "accepted", "requests", "shed", "deadline", "wakeups", "proto-err"
+        ));
+        out.push_str(&format!(
+            "  {:<8} {:>10} {:>9} {:>9} {:>8} {:>9} {:>10} {:>9}\n",
+            open,
+            high,
+            stats.counter("net_accepted_total").unwrap_or(0),
+            stats.counter("net_requests_total").unwrap_or(0),
+            stats.counter("net_shed_total").unwrap_or(0),
+            stats.counter("net_deadline_closed_total").unwrap_or(0),
+            stats.counter("net_readiness_wakeups_total").unwrap_or(0),
+            stats.counter("net_protocol_errors_total").unwrap_or(0),
+        ));
+    }
+
     let backends = backend_rows(stats);
     if !backends.is_empty() {
         // The table is built from the proxy's *own* counters and gauges,

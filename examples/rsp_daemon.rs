@@ -111,6 +111,19 @@ fn main() {
         .position(|a| a == "--listen")
         .map(|i| args.get(i + 1).expect("--listen takes an address").clone());
     let listen = fixed_listen.clone().unwrap_or_else(|| "127.0.0.1:0".to_string());
+    // Connection slab size for the event-loop transport. 0 (the default)
+    // keeps the threaded server's shed point (workers + queue depth); a
+    // device-fleet deployment raises it to hold idle connections open.
+    let max_connections: usize = args
+        .iter()
+        .position(|a| a == "--max-connections")
+        .map(|i| {
+            args.get(i + 1)
+                .expect("--max-connections takes a count")
+                .parse()
+                .expect("--max-connections count")
+        })
+        .unwrap_or(0);
     // Head-based trace sampling, in traces per 10 000 roots (default 100
     // = 1%); slow requests past `--trace-slow-us` are sampled regardless.
     let trace_sample: Option<u32> = args
@@ -226,8 +239,12 @@ fn main() {
         service.ingest_shards(),
         group_commit.max(1)
     );
-    let server = NetServer::bind(listen.as_str(), service.clone(), ServerConfig::default())
-        .expect("bind daemon");
+    let server = NetServer::bind(
+        listen.as_str(),
+        service.clone(),
+        ServerConfig { max_connections, ..ServerConfig::default() },
+    )
+    .expect("bind daemon");
     let addr = server.local_addr();
     println!("daemon: listening on {addr}");
 

@@ -51,6 +51,11 @@ pub mod channel {
         queue: VecDeque<T>,
         senders: usize,
         receivers: usize,
+        /// Receivers currently parked in `not_empty.wait` — senders only
+        /// pay the wake syscall when someone is actually asleep.
+        rx_waiting: usize,
+        /// Senders currently parked in `not_full.wait` (bounded only).
+        tx_waiting: usize,
     }
 
     struct Shared<T> {
@@ -107,14 +112,19 @@ pub mod channel {
                 }
                 match self.0.cap {
                     Some(cap) if inner.queue.len() >= cap => {
+                        inner.tx_waiting += 1;
                         inner = self.0.not_full.wait(inner).expect("channel lock");
+                        inner.tx_waiting -= 1;
                     }
                     _ => break,
                 }
             }
             inner.queue.push_back(value);
+            let wake = inner.rx_waiting > 0;
             drop(inner);
-            self.0.not_empty.notify_one();
+            if wake {
+                self.0.not_empty.notify_one();
+            }
             Ok(())
         }
 
@@ -131,8 +141,11 @@ pub mod channel {
                 }
             }
             inner.queue.push_back(value);
+            let wake = inner.rx_waiting > 0;
             drop(inner);
-            self.0.not_empty.notify_one();
+            if wake {
+                self.0.not_empty.notify_one();
+            }
             Ok(())
         }
     }
@@ -167,14 +180,19 @@ pub mod channel {
             let mut inner = self.0.inner.lock().expect("channel lock");
             loop {
                 if let Some(value) = inner.queue.pop_front() {
+                    let wake = inner.tx_waiting > 0;
                     drop(inner);
-                    self.0.not_full.notify_one();
+                    if wake {
+                        self.0.not_full.notify_one();
+                    }
                     return Ok(value);
                 }
                 if inner.senders == 0 {
                     return Err(RecvError);
                 }
+                inner.rx_waiting += 1;
                 inner = self.0.not_empty.wait(inner).expect("channel lock");
+                inner.rx_waiting -= 1;
             }
         }
 
@@ -190,7 +208,13 @@ pub mod channel {
 
     fn shared<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
-            inner: Mutex::new(Inner { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+                rx_waiting: 0,
+                tx_waiting: 0,
+            }),
             cap,
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
